@@ -1,0 +1,11 @@
+"""Figure 1: per-device model-state memory under ZeRO-DP stages."""
+
+from repro.experiments import fig1
+
+
+def test_fig1_memory_stages(benchmark, record_table):
+    rows = benchmark(fig1.run, measure=True)
+    record_table(fig1.render(rows))
+    gb = {r.label: r.analytic_gb for r in rows}
+    assert gb["baseline"] == 120.0
+    assert round(gb["Pos+g+p"], 1) == 1.9

@@ -1,0 +1,9 @@
+"""Figure 3: super-linear scalability of the 60B model, 64-400 GPUs."""
+
+from repro.experiments import fig3
+
+
+def test_fig3_superlinear(benchmark, record_table):
+    rows = benchmark(fig3.run)
+    record_table(fig3.render(rows))
+    assert rows[1].aggregate_pflops > 2 * rows[0].aggregate_pflops  # 64->128 doubles+

@@ -1,0 +1,11 @@
+"""Figure 4: DP-only training up to 13B (ZeRO) vs 1.4B (baseline DP)."""
+
+from repro.experiments import fig4
+
+
+def test_fig4_democratization(benchmark, record_table):
+    rows = benchmark(fig4.run)
+    record_table(fig4.render(rows))
+    zero_max = max(r.psi_b for r in rows if r.system == "zero")
+    base_max = max(r.psi_b for r in rows if r.system == "baseline")
+    assert zero_max > 12 and base_max < 1.5

@@ -1,0 +1,12 @@
+"""Figure 6: largest trainable model under ZeRO configs C1-C5."""
+
+from repro.experiments import fig6
+
+
+def test_fig6_max_model_configs(benchmark, record_table):
+    rows = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    record_table(fig6.render(rows))
+    sizes = {r.config: r.max_params_b for r in rows}
+    assert sizes["C1"] < sizes["C2"]  # Pa: 40B -> 60B style jump
+    assert sizes["C4"] > 2 * sizes["C1"]  # Pos+g: toward 140B
+    assert sizes["C5"] >= sizes["C4"]  # Pa+cpu adds the last slice

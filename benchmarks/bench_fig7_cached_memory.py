@@ -1,0 +1,13 @@
+"""Figure 7: max cached memory per iteration for 40B / 100B, C1-C5."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_cached_memory(benchmark, record_table):
+    cells = benchmark(fig7.run)
+    record_table(fig7.render(cells))
+    index = {(c.model, c.config): c for c in cells}
+    assert index[("40B", "C2")].max_cached_gb < index[("40B", "C1")].max_cached_gb
+    # The paper's C4 -> C5 observation: flat for 40B, a real drop for 100B.
+    assert abs(index[("40B", "C5")].max_cached_gb - index[("40B", "C4")].max_cached_gb) < 1
+    assert index[("100B", "C5")].max_cached_gb < index[("100B", "C4")].max_cached_gb - 1

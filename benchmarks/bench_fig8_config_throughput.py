@@ -1,0 +1,12 @@
+"""Figure 8: best achievable throughput per ZeRO config (60B and 170B)."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_config_throughput(benchmark, record_table):
+    rows = benchmark(fig8.run)
+    record_table(fig8.render(rows))
+    index = {(r.model, r.config): r for r in rows}
+    assert index[("60B", "C4")].tflops_per_gpu > index[("60B", "C1")].tflops_per_gpu
+    assert index[("60B", "C5")].tflops_per_gpu <= index[("60B", "C4")].tflops_per_gpu
+    assert index[("170B", "C5")].runnable and not index[("170B", "C1")].runnable

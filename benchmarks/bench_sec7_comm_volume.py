@@ -1,0 +1,12 @@
+"""Section 7: measured per-step DP communication volume per ZeRO stage."""
+
+import pytest
+
+from repro.experiments import sec7
+
+
+def test_sec7_comm_volume(benchmark, record_table):
+    rows = benchmark.pedantic(sec7.run, rounds=1, iterations=1)
+    record_table(sec7.render(rows))
+    for row in rows:
+        assert row.measured_psi == pytest.approx(row.expected_psi, abs=1e-6)

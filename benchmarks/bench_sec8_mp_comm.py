@@ -1,0 +1,11 @@
+"""Section 8: Megatron MP volume and the <10% Pa all-gather overhead."""
+
+from repro.experiments import sec8
+
+
+def test_sec8_mp_comm(benchmark, record_table):
+    results = benchmark.pedantic(sec8.run, rounds=1, iterations=1)
+    record_table(sec8.render(results))
+    by_store = {r.store: r for r in results}
+    assert by_store["pa"].pa_overhead_fraction < 0.10
+    assert by_store["pa+cpu"].cpu_transfer_elems > 0

@@ -1,0 +1,11 @@
+"""Section 9: 1T feasibility (memory) vs the compute-power gap (time)."""
+
+from repro.experiments import sec9
+
+
+def test_sec9_compute_gap(benchmark, record_table):
+    rows = benchmark(sec9.run)
+    record_table(sec9.render(rows))
+    by_claim = {r.claim: r.reproduced for r in rows}
+    assert "fits=True" in by_claim["1T fits on 1024 GPUs with Pos+g+p"]
+    assert by_claim["train time, same hardware+tokens"].startswith(("140", "141"))

@@ -1,0 +1,10 @@
+"""Table 1: model-state memory vs DP degree for 7.5B / 128B / 1T models."""
+
+from repro.experiments import table1
+
+
+def test_table1_memory_vs_dp(benchmark, record_table):
+    cells = benchmark(table1.run)
+    record_table(table1.render(cells))
+    index = {(c.model, c.nd, c.stage): c for c in cells}
+    assert index[("1T", 1024, 3)].fits_32gb  # the trillion-parameter headline

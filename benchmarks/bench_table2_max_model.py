@@ -1,0 +1,12 @@
+"""Table 2: theoretical vs measured (allocator) max model sizes."""
+
+from repro.experiments import table2
+
+
+def test_table2_max_model(benchmark, record_table):
+    rows = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    record_table(table2.render(rows))
+    first = rows[0]
+    # Paper: baseline ~1.3B measured, Pos ~6.2B measured at MP=1/64 GPUs.
+    assert 1.0 <= first.measured_baseline_b <= 2.0
+    assert 4.5 <= first.measured_pos_b <= 7.5

@@ -1,0 +1,28 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one paper table/figure: it times the
+experiment runner with pytest-benchmark, prints the reproduced rows, and
+writes them to ``benchmarks/output/<name>.txt`` so the artifacts survive
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def record_table(request):
+    """record_table(text) -> prints and persists the reproduced table."""
+
+    def _record(text: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record

@@ -1,0 +1,101 @@
+"""The complete training journey on the simulated cluster.
+
+Usage:
+    python examples/full_training_run.py
+
+Everything a real run uses, end to end: ZeRO stage 2 over 4 simulated
+GPUs, fp16 mixed precision with dynamic loss scaling, linear-warmup +
+cosine-decay learning rate, gradient accumulation (2 micro-batches per
+step), a mid-run distributed checkpoint with bitwise resume, and finally
+sampling from the trained model.
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import Cluster, GPTConfig, ZeROConfig
+from repro.data import SyntheticCorpus
+from repro.nn.generate import generate
+from repro.optim.adam import AdamHyperparams
+from repro.optim.lr_schedule import WarmupCosineDecay
+from repro.parallel.engine import EngineConfig
+from repro.zero.checkpoint_io import load_checkpoint, save_checkpoint
+from repro.zero.factory import build_model_and_engine
+
+CFG = GPTConfig(n_layers=3, hidden=64, n_heads=4, vocab_size=101, max_seq_len=32)
+CORPUS = SyntheticCorpus(101, seed=13)
+WORLD = 4
+TOTAL_STEPS = 24
+CKPT_AT = 12
+ACCUM = 2
+
+
+def build(ctx):
+    zero = ZeROConfig(stage=2, checkpoint_activations=True, memory_defrag=False)
+    return build_model_and_engine(
+        ctx, CFG, zero, dp_group=ctx.world, dtype=np.float16, seed=17,
+        engine_config=EngineConfig(
+            adam=AdamHyperparams(lr=0.0),  # schedule drives the lr
+            lr_schedule=WarmupCosineDecay(peak_lr=3e-3, warmup_steps=4,
+                                          total_steps=TOTAL_STEPS),
+            loss_scale=2.0**14,
+            dynamic_loss_scale=True,
+            gradient_accumulation_steps=ACCUM,
+        ),
+    )
+
+
+def main():
+    ckpt_dir = tempfile.mkdtemp(prefix="zero-ckpt-")
+    cluster = Cluster(WORLD)
+
+    def phase_one(ctx):
+        model, engine = build(ctx)
+        losses = []
+        micro = 0
+        while engine.step_count < CKPT_AT:
+            ids, tgt = CORPUS.sample_batch(2, 32, rank=ctx.rank, step=micro)
+            r = engine.train_step(ids, tgt)
+            micro += 1
+            if r.is_boundary:
+                losses.append(r.loss)
+        save_checkpoint(engine, ckpt_dir)
+        return losses
+
+    first_half = cluster.run(phase_one)[0]
+    print(f"steps 1-{CKPT_AT}: loss {first_half[0]:.3f} -> {first_half[-1]:.3f} "
+          f"(checkpoint written to {ckpt_dir})")
+
+    def phase_two(ctx):
+        model, engine = build(ctx)
+        load_checkpoint(engine, ckpt_dir)  # resume from the shard files
+        engine._micro_step = engine.step_count * ACCUM
+        losses = []
+        micro = engine._micro_step
+        while engine.step_count < TOTAL_STEPS:
+            ids, tgt = CORPUS.sample_batch(2, 32, rank=ctx.rank, step=micro)
+            r = engine.train_step(ids, tgt)
+            micro += 1
+            if r.is_boundary:
+                losses.append(r.loss)
+        sample = None
+        if ctx.rank == 0:
+            prompt = np.array([[5, 17, 42]], np.int64)
+            sample = generate(model, prompt, max_new_tokens=12, temperature=0.8,
+                              rng=np.random.default_rng(0))
+        return losses, engine.scaler.scale, sample
+
+    results = Cluster(WORLD).run(phase_two)
+    second_half, final_scale, sample = results[0]
+    print(f"resumed at step {CKPT_AT}: loss {second_half[0]:.3f} -> {second_half[-1]:.3f}")
+    print(f"final dynamic loss scale: {final_scale:.0f}")
+    assert second_half[-1] < first_half[0], "training should have made progress"
+    print(f"\nsampled continuation of [5, 17, 42]: {sample[0].tolist()}")
+    print("\nThat is the paper's Section 10.4 pitch in practice: mixed precision,")
+    print("scheduling, accumulation, checkpoint/resume and inference all behave")
+    print("exactly as plain data parallelism — ZeRO never shows through the API.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Within-step memory profiles: watch ZeRO flatten the gradient mountain.
+
+Usage:
+    python examples/memory_timeline.py
+
+Attaches a memory tracer to one rank's simulated device and runs a single
+training step under baseline DDP and under ZeRO stage 2, printing the
+allocated-bytes curve over the step. The DDP profile keeps climbing
+through backward (full gradients pile on top of activations); the stage-2
+profile stays flat — gradients are reduced to their owners and freed as
+the backward pass produces them (Section 5.2).
+"""
+
+import numpy as np
+
+from repro import Cluster, GPTConfig, ZeROConfig
+from repro.data import SyntheticCorpus
+from repro.hardware.specs import GPUSpec
+from repro.memsim.timeline import MemoryTimeline
+from repro.utils.units import bytes_to_str
+from repro.zero import build_model_and_engine
+
+GPU = GPUSpec("timeline-gpu", 2 * 10**9, 1e12)
+CFG = GPTConfig(n_layers=4, hidden=96, n_heads=4, vocab_size=128, max_seq_len=48)
+CORPUS = SyntheticCorpus(128, seed=21)
+
+
+def profile(stage):
+    cluster = Cluster(2, gpu=GPU)
+
+    def fn(ctx):
+        zero = ZeROConfig(stage=stage, checkpoint_activations=False, memory_defrag=False)
+        model, engine = build_model_and_engine(
+            ctx, CFG, zero, dp_group=ctx.world, dtype=np.float32, seed=4,
+        )
+        tl = MemoryTimeline(ctx.device)
+        engine.timeline = tl
+        ids, tgt = CORPUS.sample_batch(4, 48, rank=ctx.rank, step=0)
+        engine.train_step(ids, tgt)
+        tl.detach()
+        return tl if ctx.rank == 0 else None
+
+    return cluster.run(fn)[0]
+
+
+def main():
+    for stage, label in ((0, "baseline DDP"), (2, "ZeRO stage 2 (Pos+g)")):
+        tl = profile(stage)
+        print(f"=== one training step, {label} ===")
+        print(tl.ascii_plot(width=70, height=9))
+        peaks = tl.phase_peaks()
+        print("  phase peaks: " + "  ".join(
+            f"{k}={bytes_to_str(v)}" for k, v in peaks.items()
+        ))
+        print("  top allocations: " + ", ".join(
+            f"{s.tag or '?'} ({bytes_to_str(s.delta)})" for s in tl.largest_allocations(3)
+        ))
+        print()
+    print("Note how stage 2's backward phase stays near the forward peak:")
+    print("gradient buckets are reduced to their owners and freed on the fly,")
+    print("while DDP stacks the full 2-Psi gradient buffer on top of everything.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Quickstart: train a GPT model with ZeRO stage 2 on 4 simulated GPUs.
+
+Usage:
+    python examples/quickstart.py
+
+What it shows
+-------------
+* spinning up a simulated multi-GPU cluster (threads, one device each);
+* wrapping a model + engine with one call (no model surgery — the paper's
+  usability point, Section 10.4);
+* reading the per-rank memory accounting and communication ledger after
+  training: gradient-reduce + parameter-all-gather = 2 Psi per step.
+"""
+
+import numpy as np
+
+from repro import Cluster, GPTConfig, ZeROConfig
+from repro.data import SyntheticCorpus
+from repro.optim.adam import AdamHyperparams
+from repro.parallel.engine import EngineConfig
+from repro.utils.units import bytes_to_str
+from repro.zero import build_model_and_engine
+
+WORLD_SIZE = 4
+STEPS = 10
+CONFIG = GPTConfig(n_layers=2, hidden=64, n_heads=4, vocab_size=101, max_seq_len=32)
+
+
+def train_on_rank(ctx):
+    zero = ZeROConfig(stage=2, checkpoint_activations=True, memory_defrag=False)
+    model, engine = build_model_and_engine(
+        ctx, CONFIG, zero,
+        dp_group=ctx.world,
+        dtype=np.float32,
+        seed=42,
+        engine_config=EngineConfig(adam=AdamHyperparams(lr=3e-3)),
+    )
+    corpus = SyntheticCorpus(CONFIG.vocab_size, seed=7)
+    losses = []
+    for step in range(STEPS):
+        ids, targets = corpus.sample_batch(4, 32, rank=ctx.rank, step=step)
+        result = engine.train_step(ids, targets)
+        losses.append(result.loss)
+    psi = engine.layout.numel
+    comm_psi = ctx.ledger.nominal_bytes() / (psi * 4) / STEPS  # fp32 elements
+    param_checksum = float(
+        sum(abs(p.data.numpy()).sum() for p in model.parameters())
+    )
+    return {
+        "losses": losses,
+        "device_bytes": ctx.device.allocated_bytes,
+        "peak_bytes": ctx.device.max_allocated_bytes,
+        "opt_shard": engine.opt_state.numel,
+        "params": psi,
+        "comm_volume_psi_per_step": comm_psi,
+        "param_checksum": param_checksum,
+    }
+
+
+def main():
+    cluster = Cluster(WORLD_SIZE)
+    print(f"training a {CONFIG.total_params:,}-parameter GPT on {WORLD_SIZE} simulated GPUs "
+          f"with ZeRO stage 2 (Pos+g)\n")
+    results = cluster.run(train_on_rank)
+    r0 = results[0]
+    print("loss curve (rank 0):", " ".join(f"{v:.3f}" for v in r0["losses"]))
+    assert r0["losses"][-1] < r0["losses"][0], "loss should decrease"
+    print(f"\nper-rank optimizer shard: {r0['opt_shard']:,} of {r0['params']:,} elements "
+          f"(1/{WORLD_SIZE} — the Pos partition)")
+    print(f"device memory now: {bytes_to_str(r0['device_bytes'])}, "
+          f"peak: {bytes_to_str(r0['peak_bytes'])}")
+    print(f"communication: {r0['comm_volume_psi_per_step']:.2f} Psi per step "
+          f"(paper Section 7: 2.0 for Pos+g — same as plain data parallelism)")
+    # Each rank trains on its own data shard, so local losses differ — but
+    # after the synchronized updates every replica must hold identical
+    # parameters. That is data-parallel consistency.
+    for rank, r in enumerate(results):
+        assert r["param_checksum"] == r0["param_checksum"], "replicas diverged"
+    print("\nall ranks hold bitwise-identical parameters — DP consistency holds")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""The paper's title, simulated: one rank of a TRILLION-parameter training
+job on 1024 GPUs with full ZeRO (Pos+g+p).
+
+Usage:
+    python examples/trillion_parameter_simulation.py
+
+Section 9 / Table 1: "ZeRO, with all optimizations turned on (Pos+g+p),
+could fit more than 1 Trillion parameters on 1024 GPUs ... with 16-way
+model parallelism (within each DGX2 node) and 64-way data parallelism
+across nodes". We execute exactly that configuration in meta mode on a
+simulated 32 GB V100: every allocation of one rank's training step passes
+through the allocator, every collective lands in the ledger — and it fits,
+with the model-state arithmetic matching Table 1's 15.6 GB cell.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.memory_model import model_state_bytes
+from repro.comm.virtual import VirtualGroup
+from repro.nn.transformer import GPTConfig
+from repro.runtime import virtual_rank_context
+from repro.tensor.tensor import Tensor
+from repro.utils.units import GB, bytes_to_str
+from repro.zero.config import ZeROConfig
+from repro.zero.factory import build_model_and_engine
+
+# ~1.0T parameters: 12 x 310 x 16384^2 plus embeddings.
+CONFIG = GPTConfig(n_layers=310, hidden=16384, n_heads=128)
+N_GPUS, MP = 1024, 16
+BATCH = 2  # "a modest batch size"
+
+
+def main():
+    nd = N_GPUS // MP
+    psi = CONFIG.total_params
+    print(f"model: {psi / 1e12:.2f}T parameters "
+          f"({CONFIG.n_layers} layers x {CONFIG.hidden} hidden)")
+    print(f"layout: {N_GPUS} GPUs = {MP}-way MP (intra-node) x {nd}-way DP, "
+          f"ZeRO stage 3 (Pos+g+p) + Pa, batch {BATCH}/replica\n")
+    states = model_state_bytes(psi / MP, nd, 3)
+    print(f"Table 1 arithmetic: 16 x Psi_local / Nd = {states / GB:.1f} GB "
+          "of model states per GPU (paper: 15.6 GB at 1T/1024)\n")
+
+    ctx = virtual_rank_context(N_GPUS)
+    mp_group = VirtualGroup.of_size(MP, member_rank=0)
+    mp_group.attach_ledger(0, ctx.ledger)
+    dp_group = VirtualGroup(tuple(range(0, N_GPUS, MP)), member_rank=0)
+    dp_group.attach_ledger(0, ctx.ledger)
+
+    zero = ZeROConfig(stage=3, partition_activations=True, memory_defrag=False)
+    t0 = time.time()
+    model, engine = build_model_and_engine(
+        ctx, CONFIG, zero, dp_group=dp_group, mp_group=mp_group,
+        meta=True, defer_param_allocation=True,
+    )
+    ids = Tensor.meta((BATCH, 1024), np.int64, device=ctx.device)
+    targets = Tensor.meta((BATCH, 1024), np.int64, device=ctx.device)
+    ctx.ledger.clear()
+    engine.train_step(ids, targets)
+    elapsed = time.time() - t0
+
+    print(f"one full training step of the 1T model simulated in {elapsed:.1f}s\n")
+    print("-- this rank's 32 GB V100 --")
+    print(f"  persistent shards (params+grads+Adam): "
+          f"{bytes_to_str(engine.param_shard.nbytes + engine.grad_shard.nbytes + engine.opt_state.nbytes)}")
+    print(f"  peak allocated during the step: {bytes_to_str(ctx.device.max_allocated_bytes)}")
+    print(f"  max cached (reserved): {bytes_to_str(ctx.device.max_reserved_bytes)}")
+    headroom = 32 * GB - ctx.device.max_reserved_bytes
+    print(f"  headroom: {bytes_to_str(headroom)} — IT FITS\n")
+    volume = ctx.ledger.nominal_bytes(phase="param-gather") + ctx.ledger.nominal_bytes(
+        phase="grad-reduce"
+    )
+    psi_local_bytes = psi / MP * 2
+    print(f"-- DP communication this step: {volume / psi_local_bytes:.2f} x Psi_local "
+          "(paper Section 7.2.2: 3x for Pos+g+p, 1.5x baseline DP)")
+    print("\n'Running a model with a trillion parameters efficiently is no")
+    print(" longer impossible!' — Section 9, now allocator-verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim: offline environments without the `wheel` package
+cannot do PEP 660 editable installs, so `pip install -e .` uses this."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of ZeRO: Memory Optimizations Toward Training "
+        "Trillion Parameter Models (SC 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

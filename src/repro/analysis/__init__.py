@@ -1,0 +1,65 @@
+"""Analytic models: memory (Sections 3/5), communication (7/8), throughput (10)."""
+
+from repro.analysis.advisor import (
+    Advice,
+    VariantEstimate,
+    advise_activation_strategy,
+    recommend_zero_config,
+)
+from repro.analysis.comm_model import MPCommModel, dp_volume_elements
+from repro.analysis.pp_model import (
+    gpipe_device_bytes,
+    microbatches_for_bubble,
+    pipeline_bubble_fraction,
+    zero_device_bytes_for_comparison,
+)
+from repro.analysis.max_model import (
+    DEFAULT_BUDGET_BYTES,
+    FitResult,
+    device_bytes_for,
+    max_batch,
+    max_layers,
+)
+from repro.analysis.memory_model import (
+    ActivationModel,
+    max_model_params,
+    model_state_bytes,
+    temporary_buffer_bytes,
+    total_device_bytes,
+)
+from repro.analysis.sim_time import LedgerTimeEstimator, SimStepTime
+from repro.analysis.perf_model import (
+    PerfModel,
+    ThroughputBreakdown,
+    gemm_efficiency,
+    transformer_flops_per_replica,
+)
+
+__all__ = [
+    "ActivationModel",
+    "Advice",
+    "VariantEstimate",
+    "advise_activation_strategy",
+    "gpipe_device_bytes",
+    "microbatches_for_bubble",
+    "pipeline_bubble_fraction",
+    "recommend_zero_config",
+    "zero_device_bytes_for_comparison",
+    "DEFAULT_BUDGET_BYTES",
+    "FitResult",
+    "LedgerTimeEstimator",
+    "MPCommModel",
+    "SimStepTime",
+    "PerfModel",
+    "ThroughputBreakdown",
+    "device_bytes_for",
+    "dp_volume_elements",
+    "gemm_efficiency",
+    "max_batch",
+    "max_layers",
+    "max_model_params",
+    "model_state_bytes",
+    "temporary_buffer_bytes",
+    "total_device_bytes",
+    "transformer_flops_per_replica",
+]

@@ -1,0 +1,60 @@
+"""Closed-form communication-volume model (paper Sections 7 and 8).
+
+Volumes are *nominal per-rank* element counts, the accounting the paper
+uses (a Psi-element reduce-scatter or all-gather moves Psi elements per
+rank; an all-reduce moves 2 Psi).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def dp_volume_elements(psi: float, stage: int) -> float:
+    """ZeRO-DP per-rank volume per step, in parameter elements (Section 7).
+
+    Baseline DP: all-reduce of gradients = 2 Psi.
+    Pos / Pos+g: reduce-scatter (Psi) + parameter all-gather (Psi) = 2 Psi.
+    Pos+g+p: forward gathers (Psi) + backward gathers (Psi) +
+             gradient reduce-scatter (Psi) = 3 Psi.
+    """
+    if stage in (0, 1, 2):
+        return 2.0 * psi
+    if stage == 3:
+        return 3.0 * psi
+    raise ValueError(f"stage must be 0-3, got {stage}")
+
+
+@dataclass(frozen=True)
+class MPCommModel:
+    """Megatron-style MP communication per transformer block (Section 8)."""
+
+    batch: int
+    seq_len: int
+    hidden: int
+
+    @property
+    def message_elements(self) -> float:
+        return float(self.batch) * self.seq_len * self.hidden
+
+    def baseline_elements_per_block(self, *, checkpointing: bool = True) -> float:
+        """Two all-reduces in forward, two in backward, two more for the
+        checkpoint recomputation; an all-reduce moves 2x its message:
+        total 12 x batch x seq x hidden (Section 8)."""
+        passes = 3 if checkpointing else 2  # fwd (+recompute) + bwd
+        return passes * 2 * 2 * self.message_elements
+
+    def pa_overhead_elements_per_block(self) -> float:
+        """Pa adds one all-gather of the block's input checkpoint before
+        recomputation: batch x seq x hidden — <10% of baseline MP volume."""
+        return self.message_elements
+
+    def pa_overhead_fraction(self, *, checkpointing: bool = True) -> float:
+        return self.pa_overhead_elements_per_block() / self.baseline_elements_per_block(
+            checkpointing=checkpointing
+        )
+
+    def pa_cpu_transfer_elements_per_block(self, mp_degree: int) -> float:
+        """Pa+cpu moves each rank's 1/Nm checkpoint shard to the CPU and
+        back: 2x the shard per block (Section 8's '2x added data movement')."""
+        return 2.0 * self.message_elements / mp_degree

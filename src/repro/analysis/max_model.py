@@ -1,0 +1,126 @@
+"""Solvers: largest model / largest batch that fits a memory budget.
+
+Used by Table 2 (max model size per stage/MP), Figure 4 (13B without MP),
+Figure 6 (max model under C1-C5), and Figure 8 (max batch per config).
+Model families follow the paper: hidden size fixed per family, layer count
+varied to hit a parameter target (Table 4's parameterization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.memory_model import ActivationModel, total_device_bytes
+from repro.nn.transformer import GPTConfig
+from repro.utils.units import GB
+from repro.zero.config import ZeROConfig
+
+SEQ_LEN = 1024
+VOCAB = 50257
+
+# Usable fraction of the 32 GB device: CUDA context, framework overheads,
+# and workspace keep a slice away from tensors.
+DEFAULT_BUDGET_BYTES = 30 * GB
+
+
+@dataclass(frozen=True)
+class FitResult:
+    config: GPTConfig
+    psi: float
+    device_bytes: float
+    fits: bool
+
+
+def device_bytes_for(
+    config: GPTConfig,
+    zero: ZeROConfig,
+    *,
+    batch: int,
+    nd: int,
+    mp: int = 1,
+    seq_len: int = SEQ_LEN,
+) -> float:
+    """Per-GPU bytes for a concrete (model, config, parallelism, batch)."""
+    act = ActivationModel(
+        hidden=config.hidden, n_layers=config.n_layers,
+        seq_len=seq_len, batch=batch, mp_degree=mp,
+    )
+    return total_device_bytes(
+        float(config.total_params), act,
+        nd=nd, stage=zero.stage, mp_degree=mp,
+        checkpointing=zero.checkpoint_activations,
+        partition_activations=zero.partition_activations,
+        cpu_offload=zero.cpu_offload_activations,
+        constant_buffers=zero.constant_buffers,
+    )
+
+
+def max_layers(
+    zero: ZeROConfig,
+    *,
+    hidden: int,
+    heads: int,
+    batch: int,
+    nd: int,
+    mp: int = 1,
+    budget_bytes: float = DEFAULT_BUDGET_BYTES,
+    seq_len: int = SEQ_LEN,
+    max_search: int = 4096,
+) -> FitResult:
+    """Largest layer count (hence model size) that fits the budget."""
+
+    def fits(n_layers: int) -> tuple[bool, float, GPTConfig]:
+        cfg = GPTConfig(n_layers=n_layers, hidden=hidden, n_heads=heads,
+                        vocab_size=VOCAB, max_seq_len=seq_len)
+        used = device_bytes_for(cfg, zero, batch=batch, nd=nd, mp=mp, seq_len=seq_len)
+        return used <= budget_bytes, used, cfg
+
+    ok, used, cfg = fits(1)
+    if not ok:
+        return FitResult(config=cfg, psi=float(cfg.total_params), device_bytes=used, fits=False)
+    lo, hi = 1, 2
+    while hi <= max_search and fits(hi)[0]:
+        lo, hi = hi, hi * 2
+    hi = min(hi, max_search)
+    # Binary search in (lo, hi].
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if fits(mid)[0]:
+            lo = mid
+        else:
+            hi = mid
+    ok, used, cfg = fits(lo)
+    return FitResult(config=cfg, psi=float(cfg.total_params), device_bytes=used, fits=True)
+
+
+def max_batch(
+    config: GPTConfig,
+    zero: ZeROConfig,
+    *,
+    nd: int,
+    mp: int = 1,
+    budget_bytes: float = DEFAULT_BUDGET_BYTES,
+    seq_len: int = SEQ_LEN,
+    max_search: int = 1 << 14,
+) -> int:
+    """Largest per-replica batch that fits; 0 if even batch 1 does not."""
+
+    def fits(b: int) -> bool:
+        return (
+            device_bytes_for(config, zero, batch=b, nd=nd, mp=mp, seq_len=seq_len)
+            <= budget_bytes
+        )
+
+    if not fits(1):
+        return 0
+    lo, hi = 1, 2
+    while hi <= max_search and fits(hi):
+        lo, hi = hi, hi * 2
+    hi = min(hi, max_search)
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if fits(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

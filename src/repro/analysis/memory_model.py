@@ -1,0 +1,165 @@
+"""Closed-form memory model (paper Sections 3 and 5).
+
+All byte counts use the paper's decimal GB and its constants:
+
+* Mixed-precision Adam, K = 12: fp16 params (2 Psi) + fp16 grads (2 Psi) +
+  fp32 master/momentum/variance (12 Psi) = 16 Psi bytes total (Section 3.1).
+* Per-device model states under ZeRO-DP (Figure 1 / Table 1):
+    baseline:   (2 + 2 + K) Psi
+    Pos:        2 Psi + 2 Psi + K Psi / Nd
+    Pos+g:      2 Psi + (2 + K) Psi / Nd
+    Pos+g+p:    (4 + K) Psi / Nd
+* Activations for a GPT-like transformer (Section 3.2, footnote 3):
+    total activation elements ~= 12 x hidden x batch x seq x layers
+  (fp16, so x2 bytes). Checkpointing stores one input activation per block
+  (batch x seq x hidden each) and recomputes the rest one block at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.optim.mixed_precision import ADAM_K
+from repro.utils.units import GB
+
+# Bytes per parameter for fp16 weights / fp16 grads / fp32 optimizer states.
+PARAM_BYTES = 2
+GRAD_BYTES = 2
+
+
+def model_state_bytes(psi: float, nd: int = 1, stage: int = 0, k: int = ADAM_K) -> float:
+    """Per-device model-state bytes for a Psi-parameter model (Figure 1)."""
+    if psi < 0 or nd < 1:
+        raise ValueError(f"need psi >= 0 and nd >= 1, got psi={psi}, nd={nd}")
+    if stage == 0:
+        return (PARAM_BYTES + GRAD_BYTES + k) * psi
+    if stage == 1:
+        return (PARAM_BYTES + GRAD_BYTES) * psi + k * psi / nd
+    if stage == 2:
+        return PARAM_BYTES * psi + (GRAD_BYTES + k) * psi / nd
+    if stage == 3:
+        return (PARAM_BYTES + GRAD_BYTES + k) * psi / nd
+    raise ValueError(f"stage must be 0-3, got {stage}")
+
+
+def max_model_params(memory_bytes: float, nd: int = 1, stage: int = 0, k: int = ADAM_K) -> float:
+    """Largest Psi whose model states fit in ``memory_bytes`` (Table 2 left)."""
+    denom = model_state_bytes(1.0, nd, stage, k)
+    return memory_bytes / denom
+
+
+@dataclass(frozen=True)
+class ActivationModel:
+    """Activation memory for one training iteration on one GPU.
+
+    ``checkpoint_interval`` — layers per stored checkpoint. The paper's
+    Section 6.1 worked example (100B model, "about 33 GB ... to store the
+    activation checkpoints") corresponds to interval 2; one checkpoint per
+    layer (interval 1, our engines' behaviour and the Section 8 analysis)
+    gives exactly twice that. A larger interval stores fewer checkpoints
+    but recomputes (and transiently holds) ``interval`` layers at once.
+    """
+
+    hidden: int
+    n_layers: int
+    seq_len: int
+    batch: int
+    mp_degree: int = 1
+    bytes_per_element: int = 2  # fp16 activations
+    checkpoint_interval: int = 1
+
+    def __post_init__(self):
+        if not 1 <= self.checkpoint_interval <= max(self.n_layers, 1):
+            raise ValueError(
+                f"checkpoint_interval must be in [1, n_layers], got "
+                f"{self.checkpoint_interval} for {self.n_layers} layers"
+            )
+
+    @property
+    def elements_per_layer(self) -> float:
+        """Paper footnote 3: ~12 x hidden x batch x seq per transformer layer."""
+        return 12.0 * self.hidden * self.batch * self.seq_len
+
+    def total_bytes(self) -> float:
+        """All activations, no checkpointing: replicated LN/residual inputs
+        are shared, the big internals split across MP ranks."""
+        return self.elements_per_layer * self.n_layers * self.bytes_per_element / self.mp_degree
+
+    def checkpoint_bytes(self, *, partition_activations: bool = False, cpu_offload: bool = False) -> float:
+        """Stored checkpoints: one block-input (batch x seq x hidden) per layer.
+
+        Without Pa each MP rank replicates every checkpoint (Section 6.1's
+        redundancy); Pa divides by the MP degree; Pa+cpu moves them off-device.
+        """
+        if cpu_offload:
+            return 0.0
+        per_ckpt = self.batch * self.seq_len * self.hidden * self.bytes_per_element
+        n_checkpoints = -(-self.n_layers // self.checkpoint_interval)  # ceil
+        total = per_ckpt * n_checkpoints
+        if partition_activations:
+            total /= self.mp_degree
+        return total
+
+    def working_bytes(self) -> float:
+        """Transient working set while (re)computing one checkpoint segment
+        (``checkpoint_interval`` blocks at once)."""
+        return (
+            self.elements_per_layer * self.checkpoint_interval
+            * self.bytes_per_element / self.mp_degree
+        )
+
+    def iteration_bytes(
+        self,
+        *,
+        checkpointing: bool = True,
+        partition_activations: bool = False,
+        cpu_offload: bool = False,
+    ) -> float:
+        if not checkpointing:
+            return self.total_bytes()
+        return (
+            self.checkpoint_bytes(
+                partition_activations=partition_activations, cpu_offload=cpu_offload
+            )
+            + self.working_bytes()
+        )
+
+
+def temporary_buffer_bytes(psi: float, *, constant_buffers: bool, cb_numel: int = 1 << 22) -> float:
+    """Fused-buffer footprint (Section 6.2): a full fp32 flattened buffer
+    (4 Psi bytes — 6 GB at 1.5B) without CB, a fixed-size buffer with CB."""
+    if constant_buffers:
+        return 4.0 * cb_numel
+    return 4.0 * psi
+
+
+def total_device_bytes(
+    psi: float,
+    activation: ActivationModel,
+    *,
+    nd: int = 1,
+    stage: int = 0,
+    mp_degree: int = 1,
+    checkpointing: bool = True,
+    partition_activations: bool = False,
+    cpu_offload: bool = False,
+    constant_buffers: bool = True,
+    k: int = ADAM_K,
+) -> float:
+    """End-to-end per-GPU memory: model states (split by MP) + activations
+    + temporary buffers. MP splits Psi across ranks; ZeRO-DP then splits
+    the per-rank states across the DP group (the Nd x Nm compounding of
+    Section 1)."""
+    psi_local = psi / mp_degree
+    states = model_state_bytes(psi_local, nd, stage, k)
+    acts = activation.iteration_bytes(
+        checkpointing=checkpointing,
+        partition_activations=partition_activations,
+        cpu_offload=cpu_offload,
+    )
+    buffers = temporary_buffer_bytes(psi_local, constant_buffers=constant_buffers)
+    return states + acts + buffers
+
+
+def format_gb(n_bytes: float) -> str:
+    return f"{n_bytes / GB:.1f}"

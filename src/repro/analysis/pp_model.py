@@ -1,0 +1,79 @@
+"""Pipeline-parallelism analysis (paper Section 2.1's comparison).
+
+GPipe splits the model into S stages, cuts the batch into M micro-batches,
+and idles (S-1)/(M+S-1) of each device's time in the pipeline bubble —
+hiding the bubble needs M >> S, i.e. a batch roughly proportional to the
+stage count, with the convergence caveats the paper cites. Memory-wise a
+stage holds 1/S of the model states but all in-flight micro-batch
+checkpoints.
+
+These closed forms back the ZeRO-vs-PP bench, quantifying the paper's
+claim that "ZeRO obtains the same or better memory efficiency than PP
+without incurring [its] functionality, performance and convergence
+related restrictions".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.memory_model import ActivationModel, model_state_bytes
+from repro.optim.mixed_precision import ADAM_K
+
+
+def pipeline_bubble_fraction(n_stages: int, n_microbatches: int) -> float:
+    """Idle fraction of the GPipe schedule: (S-1)/(M+S-1)."""
+    if n_stages < 1 or n_microbatches < 1:
+        raise ValueError("stages and microbatches must be >= 1")
+    return (n_stages - 1) / (n_microbatches + n_stages - 1)
+
+
+def microbatches_for_bubble(n_stages: int, max_bubble: float) -> int:
+    """Smallest micro-batch count keeping the bubble under ``max_bubble`` —
+    the 'batch size proportional to the number of partitions' requirement."""
+    if not 0 < max_bubble < 1:
+        raise ValueError(f"max_bubble must be in (0,1), got {max_bubble}")
+    m = 1
+    while pipeline_bubble_fraction(n_stages, m) > max_bubble:
+        m += 1
+    return m
+
+
+def gpipe_device_bytes(
+    psi: float,
+    activation: ActivationModel,
+    *,
+    n_stages: int,
+    n_microbatches: int,
+    k: int = ADAM_K,
+) -> float:
+    """Per-device bytes for a GPipe stage.
+
+    Model states divide by S. Activations: with GPipe's rematerialization,
+    each in-flight micro-batch contributes its stage-boundary checkpoint
+    (batch_mb x seq x hidden) plus one micro-batch's recompute working set;
+    all M micro-batches are in flight at the schedule's peak.
+    ``activation`` must describe ONE micro-batch (batch = microbatch size).
+    """
+    states = model_state_bytes(psi, 1, 0, k) / n_stages
+    boundary = (
+        activation.batch * activation.seq_len * activation.hidden
+        * activation.bytes_per_element
+    )
+    # Stage-internal checkpoints for the layers it owns, per micro-batch.
+    ckpt_per_micro = activation.checkpoint_bytes() / n_stages
+    working = activation.working_bytes()
+    acts = n_microbatches * (boundary + ckpt_per_micro) + working
+    return states + acts
+
+
+def zero_device_bytes_for_comparison(
+    psi: float,
+    activation: ActivationModel,
+    *,
+    nd: int,
+    stage: int = 2,
+    k: int = ADAM_K,
+) -> float:
+    """ZeRO per-device bytes for the same total device count (Nd = S)."""
+    states = model_state_bytes(psi, nd, stage, k)
+    acts = activation.iteration_bytes(checkpointing=True)
+    return states + acts

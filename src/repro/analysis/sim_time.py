@@ -1,0 +1,77 @@
+"""Ledger-driven step-time estimation.
+
+The analytic ``PerfModel`` predicts from formulas; this module instead
+*times a recorded schedule*: it walks the communication events a real or
+meta-mode run actually produced (the rank's CommLedger), prices each with
+the alpha-beta cost model over the concrete topology, and adds GEMM time
+for the model's FLOPs. Because meta-mode runs record the exact event
+sequence of the real system, this gives a throughput estimate grounded in
+the *implemented* communication schedule rather than the idealized one —
+a cross-check that the engines communicate what the analysis says they
+should (tested against PerfModel in tests/test_sim_time.py).
+
+Events are priced serially (no overlap), matching PerfModel's convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.costmodel import CommCostModel
+from repro.comm.ledger import CommEvent, CommLedger
+from repro.hardware.specs import GPUSpec, V100_32GB
+from repro.hardware.topology import ClusterTopology
+from repro.analysis.perf_model import gemm_efficiency
+from repro.utils.units import TFLOP
+
+
+@dataclass(frozen=True)
+class SimStepTime:
+    compute_s: float
+    collective_s: float
+    pcie_s: float
+    flops_per_gpu: float
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.collective_s + self.pcie_s
+
+    @property
+    def tflops_per_gpu(self) -> float:
+        if self.total_s == 0:
+            return 0.0
+        return self.flops_per_gpu / self.total_s / TFLOP
+
+
+class LedgerTimeEstimator:
+    """Prices one rank's recorded events + compute into step seconds."""
+
+    def __init__(self, topology: ClusterTopology, gpu: GPUSpec = V100_32GB):
+        self.topology = topology
+        self.gpu = gpu
+        self.cost = CommCostModel(topology)
+
+    def estimate(
+        self,
+        events: list[CommEvent] | CommLedger,
+        *,
+        flops_per_gpu: float,
+        hidden: int,
+    ) -> SimStepTime:
+        if isinstance(events, CommLedger):
+            events = events.events
+        collective_s = 0.0
+        pcie_s = 0.0
+        for event in events:
+            t = self.cost.event_time(event)
+            if event.op in ("h2d", "d2h"):
+                pcie_s += t
+            else:
+                collective_s += t
+        compute_s = flops_per_gpu / (self.gpu.peak_flops * gemm_efficiency(hidden))
+        return SimStepTime(
+            compute_s=compute_s,
+            collective_s=collective_s,
+            pcie_s=pcie_s,
+            flops_per_gpu=flops_per_gpu,
+        )

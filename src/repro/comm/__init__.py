@@ -1,0 +1,21 @@
+"""Simulated communication: thread-SPMD collectives, volume ledger, cost model."""
+
+from repro.comm.fabric import CollectiveMismatchError, Fabric, FabricAbortedError
+from repro.comm.group import ProcessGroup
+from repro.comm.ledger import NOMINAL_FACTOR, CommEvent, CommLedger, exact_ring_factor
+from repro.comm.costmodel import PCIE_3_X16, CommCostModel
+from repro.comm.virtual import VirtualGroup
+
+__all__ = [
+    "CollectiveMismatchError",
+    "CommCostModel",
+    "CommEvent",
+    "CommLedger",
+    "Fabric",
+    "FabricAbortedError",
+    "NOMINAL_FACTOR",
+    "PCIE_3_X16",
+    "ProcessGroup",
+    "VirtualGroup",
+    "exact_ring_factor",
+]

@@ -1,0 +1,59 @@
+"""Alpha-beta time model for communication events.
+
+Turns ledger events into seconds using ring-algorithm step counts and the
+bottleneck link implied by the cluster topology: a group contained in one
+node runs at NVSwitch bandwidth; a group crossing nodes runs at InfiniBand
+bandwidth (the 300 -> 12.5 GB/s cliff of Section 10.2 that makes
+cross-node model parallelism collapse).
+
+Host<->device copies (Pa+cpu) go over PCIe, "whose bandwidth is severely
+constrained" (Section 2.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.ledger import CommEvent
+from repro.hardware.specs import InterconnectSpec
+from repro.hardware.topology import ClusterTopology
+
+PCIE_3_X16 = InterconnectSpec(name="PCIe-3.0-x16", bandwidth_bytes_per_s=12e9, latency_s=1e-5)
+
+
+@dataclass
+class CommCostModel:
+    """Maps CommEvents to seconds over a concrete topology."""
+
+    topology: ClusterTopology
+    pcie: InterconnectSpec = PCIE_3_X16
+
+    def event_time(self, event: CommEvent) -> float:
+        if event.op in ("h2d", "d2h"):
+            return self.pcie.latency_s + event.message_bytes / self.pcie.bandwidth_bytes_per_s
+        if event.op == "barrier":
+            link = self.topology.link_for_group(event.group_ranks)
+            return link.latency_s * max(event.group_size - 1, 0)
+        link = self.topology.link_for_group(event.group_ranks)
+        n = event.group_size
+        if n <= 1:
+            return 0.0
+        alpha, beta = link.latency_s, 1.0 / link.bandwidth_bytes_per_s
+        bytes_ = event.message_bytes
+        ring = (n - 1) / n
+        if event.op == "all_reduce":
+            return 2 * (n - 1) * alpha + 2 * ring * bytes_ * beta
+        if event.op in ("reduce_scatter", "all_gather", "reduce", "gather", "scatter"):
+            return (n - 1) * alpha + ring * bytes_ * beta
+        if event.op == "broadcast":
+            # Pipelined ring broadcast: ~1x message over the bottleneck link.
+            return (n - 1) * alpha + bytes_ * beta
+        if event.op == "all_to_all":
+            return (n - 1) * alpha + ring * bytes_ * beta
+        if event.op in ("send", "recv"):
+            return alpha + bytes_ * beta
+        raise ValueError(f"unknown op {event.op!r}")
+
+    def total_time(self, events: list[CommEvent]) -> float:
+        """Serialized (no-overlap) time for a sequence of events."""
+        return sum(self.event_time(e) for e in events)

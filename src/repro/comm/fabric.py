@@ -1,0 +1,126 @@
+"""Thread-SPMD rendezvous fabric.
+
+Every simulated rank is an OS thread running the same program (the mpi4py
+model from the domain guides). A collective is a rendezvous on shared slots:
+
+    deposit own contribution -> barrier -> read everyone's -> barrier
+
+The second barrier guarantees no rank starts the *next* collective (and
+overwrites a slot) before every rank has read the current one. All ranks
+must issue collectives in the same order with the same tag; a mismatch is
+detected and raised as ``CollectiveMismatchError`` instead of deadlocking,
+and any rank failure aborts the barrier so peers fail fast instead of
+hanging (``FabricAbortedError``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any
+
+
+class CollectiveMismatchError(RuntimeError):
+    """Ranks disagreed about which collective to run (SPMD order violated)."""
+
+
+class FabricAbortedError(RuntimeError):
+    """A peer rank failed; this rank's pending rendezvous was aborted."""
+
+
+class Fabric:
+    """Shared state for one world of ``world_size`` rank-threads."""
+
+    def __init__(self, world_size: int, *, timeout_s: float = 60.0):
+        if world_size <= 0:
+            raise ValueError(f"world_size must be positive, got {world_size}")
+        self.world_size = world_size
+        self.timeout_s = timeout_s
+        self._rendezvous: dict[tuple[int, ...], _Rendezvous] = {}
+        self._rendezvous_lock = threading.Lock()
+        self._mailboxes: dict[tuple[int, int, Any], queue.Queue] = {}
+        self._mailbox_lock = threading.Lock()
+        self._aborted = False
+
+    def rendezvous_for(self, ranks: tuple[int, ...]) -> "_Rendezvous":
+        """The (lazily created, shared) rendezvous for a rank group."""
+        with self._rendezvous_lock:
+            rv = self._rendezvous.get(ranks)
+            if rv is None:
+                rv = _Rendezvous(ranks, self.timeout_s)
+                if self._aborted:
+                    rv.abort()
+                self._rendezvous[ranks] = rv
+            return rv
+
+    def abort(self) -> None:
+        """Break every rendezvous so all blocked ranks raise promptly."""
+        self._aborted = True
+        with self._rendezvous_lock:
+            for rv in self._rendezvous.values():
+                rv.abort()
+
+    # -- point-to-point ----------------------------------------------------
+
+    def _mailbox(self, src: int, dst: int, tag: Any) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._mailbox_lock:
+            box = self._mailboxes.get(key)
+            if box is None:
+                box = queue.Queue()
+                self._mailboxes[key] = box
+            return box
+
+    def send(self, src: int, dst: int, payload: Any, tag: Any = 0) -> None:
+        self._mailbox(src, dst, tag).put(payload)
+
+    def recv(self, src: int, dst: int, tag: Any = 0) -> Any:
+        try:
+            return self._mailbox(src, dst, tag).get(timeout=self.timeout_s)
+        except queue.Empty:
+            raise FabricAbortedError(
+                f"recv timed out: rank {dst} waiting on rank {src} tag {tag!r}"
+            ) from None
+
+
+class _Rendezvous:
+    """Barrier + slots for one rank group."""
+
+    def __init__(self, ranks: tuple[int, ...], timeout_s: float):
+        self.ranks = ranks
+        self.index_of = {r: i for i, r in enumerate(ranks)}
+        self.timeout_s = timeout_s
+        self._barrier = threading.Barrier(len(ranks))
+        self._slots: list[Any] = [None] * len(ranks)
+        self._tags: list[Any] = [None] * len(ranks)
+
+    def abort(self) -> None:
+        self._barrier.abort()
+
+    def exchange(self, rank: int, value: Any, tag: Any) -> list[Any]:
+        """All-to-all deposit-and-read. Returns all group members' values
+        ordered by group index. ``value`` objects must be treated read-only
+        by receivers."""
+        idx = self.index_of[rank]
+        self._slots[idx] = value
+        self._tags[idx] = tag
+        self._wait()
+        if any(t != tag for t in self._tags):
+            self._barrier.abort()
+            raise CollectiveMismatchError(
+                f"rank {rank} ran collective {tag!r} but group tags were {self._tags!r}"
+            )
+        result = list(self._slots)
+        self._wait()
+        return result
+
+    def barrier(self, rank: int) -> None:
+        self.exchange(rank, None, "barrier")
+
+    def _wait(self) -> None:
+        try:
+            self._barrier.wait(timeout=self.timeout_s)
+        except threading.BrokenBarrierError:
+            raise FabricAbortedError(
+                f"rendezvous aborted in group {self.ranks} (a peer failed or timed out)"
+            ) from None

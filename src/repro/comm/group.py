@@ -1,0 +1,211 @@
+"""Process groups with NCCL-semantics collectives over the thread fabric.
+
+All collectives operate on 1-D numpy arrays (callers flatten), return fresh
+arrays, and are *deterministic across ranks*: reductions sum contributions
+in ascending group-index order on every rank, so all ranks observe bitwise
+identical results — the property the ZeRO == DP equivalence tests rely on.
+
+Every call records a CommEvent in the calling rank's ledger (when one is
+attached), tagged with a caller-chosen ``phase`` label so experiments can
+attribute volume to e.g. gradient reduction vs parameter all-gather.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.comm.fabric import Fabric
+from repro.comm.ledger import CommLedger
+
+
+def _reduce_arrays(arrays: Sequence[np.ndarray], op: str) -> np.ndarray:
+    """Deterministic elementwise reduction in group-index order.
+
+    Accumulates in float32 for half-precision inputs (NCCL-style widened
+    accumulation) and casts back, so reductions of fp16 gradients behave
+    like the real system rather than overflowing at the first add.
+    """
+    first = arrays[0]
+    acc_dtype = np.float32 if first.dtype == np.float16 else first.dtype
+    if op == "sum" or op == "avg":
+        out = arrays[0].astype(acc_dtype, copy=True)
+        with np.errstate(over="ignore"):  # inf-laden overflow steps saturate
+            for a in arrays[1:]:
+                out += a.astype(acc_dtype, copy=False)
+            if op == "avg":
+                out /= len(arrays)
+    elif op == "max":
+        out = arrays[0].astype(acc_dtype, copy=True)
+        for a in arrays[1:]:
+            np.maximum(out, a.astype(acc_dtype, copy=False), out=out)
+    elif op == "min":
+        out = arrays[0].astype(acc_dtype, copy=True)
+        for a in arrays[1:]:
+            np.minimum(out, a.astype(acc_dtype, copy=False), out=out)
+    else:
+        raise ValueError(f"unsupported reduction op {op!r}")
+    with np.errstate(over="ignore"):  # fp16 saturates to inf, as NCCL does
+        return out.astype(first.dtype, copy=False)
+
+
+class ProcessGroup:
+    """A set of global ranks that communicate collectively.
+
+    One ``ProcessGroup`` object is shared by all member threads; per-rank
+    state (the ledger) is passed per call via ``attach_ledger``'s registry.
+    """
+
+    def __init__(self, fabric: Fabric, ranks: Sequence[int]):
+        self.fabric = fabric
+        self.ranks = tuple(sorted(ranks))
+        if len(set(self.ranks)) != len(self.ranks):
+            raise ValueError(f"duplicate ranks in group: {ranks}")
+        for r in self.ranks:
+            if not 0 <= r < fabric.world_size:
+                raise ValueError(f"rank {r} outside world of size {fabric.world_size}")
+        self._rendezvous = fabric.rendezvous_for(self.ranks)
+        self._ledgers: dict[int, CommLedger] = {}
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def group_index(self, rank: int) -> int:
+        """Index of a global rank within this group."""
+        try:
+            return self._rendezvous.index_of[rank]
+        except KeyError:
+            raise ValueError(f"rank {rank} is not in group {self.ranks}") from None
+
+    def attach_ledger(self, rank: int, ledger: CommLedger) -> None:
+        self._ledgers[rank] = ledger
+
+    def _record(self, rank: int, op: str, message_bytes: int, phase: str) -> None:
+        ledger = self._ledgers.get(rank)
+        if ledger is not None:
+            ledger.record(op, message_bytes, self.ranks, phase)
+
+    # -- collectives ---------------------------------------------------------
+
+    def barrier(self, rank: int) -> None:
+        self.group_index(rank)
+        self._rendezvous.barrier(rank)
+        self._record(rank, "barrier", 0, "")
+
+    def meta_collective(self, rank: int, op: str, message_bytes: int, phase: str = "") -> None:
+        """Meta-mode collective: synchronize SPMD order and record volume
+        without moving data (the 100B-scale engines run on meta tensors)."""
+        self.group_index(rank)
+        self._rendezvous.exchange(rank, None, ("meta", op, int(message_bytes)))
+        self._record(rank, op, int(message_bytes), phase)
+
+    def all_reduce(
+        self, rank: int, array: np.ndarray, op: str = "sum", phase: str = ""
+    ) -> np.ndarray:
+        """Reduce everyone's array and return the result to all ranks."""
+        contributions = self._rendezvous.exchange(rank, array, ("all_reduce", array.shape))
+        self._record(rank, "all_reduce", array.nbytes, phase)
+        return _reduce_arrays(contributions, op)
+
+    def reduce(
+        self, rank: int, array: np.ndarray, dst: int, op: str = "sum", phase: str = ""
+    ) -> np.ndarray | None:
+        """Reduce to the group member with global rank ``dst``; others get None."""
+        self.group_index(dst)
+        contributions = self._rendezvous.exchange(rank, array, ("reduce", dst, array.shape))
+        self._record(rank, "reduce", array.nbytes, phase)
+        if rank == dst:
+            return _reduce_arrays(contributions, op)
+        return None
+
+    def reduce_scatter(
+        self, rank: int, array: np.ndarray, op: str = "sum", phase: str = ""
+    ) -> np.ndarray:
+        """Reduce a full-length array; each rank keeps its 1/N shard.
+
+        ``len(array)`` must be divisible by the group size (pad upstream).
+        """
+        n = self.size
+        if array.ndim != 1 or array.shape[0] % n:
+            raise ValueError(
+                f"reduce_scatter needs a 1-D array with length divisible by {n}, "
+                f"got shape {array.shape}"
+            )
+        contributions = self._rendezvous.exchange(
+            rank, array, ("reduce_scatter", array.shape)
+        )
+        self._record(rank, "reduce_scatter", array.nbytes, phase)
+        shard = array.shape[0] // n
+        idx = self.group_index(rank)
+        lo, hi = idx * shard, (idx + 1) * shard
+        return _reduce_arrays([c[lo:hi] for c in contributions], op)
+
+    def all_gather(self, rank: int, shard: np.ndarray, phase: str = "") -> np.ndarray:
+        """Concatenate every rank's equal-length shard, in group order."""
+        shards = self._rendezvous.exchange(rank, shard, ("all_gather", shard.shape))
+        lengths = {s.shape for s in shards}
+        if len(lengths) != 1:
+            raise ValueError(f"all_gather shards have mismatched shapes: {lengths}")
+        full = np.concatenate([np.asarray(s).ravel() for s in shards])
+        self._record(rank, "all_gather", full.nbytes, phase)
+        return full
+
+    def broadcast(self, rank: int, array: np.ndarray | None, src: int, phase: str = "") -> np.ndarray:
+        """Send ``src``'s array to every rank. Non-src inputs are ignored."""
+        self.group_index(src)
+        slots = self._rendezvous.exchange(rank, array, ("broadcast", src))
+        payload = slots[self.group_index(src)]
+        if payload is None:
+            raise ValueError(f"broadcast: src rank {src} supplied no array")
+        self._record(rank, "broadcast", payload.nbytes, phase)
+        return payload if rank == src else payload.copy()
+
+    def gather(self, rank: int, array: np.ndarray, dst: int, phase: str = "") -> list[np.ndarray] | None:
+        self.group_index(dst)
+        slots = self._rendezvous.exchange(rank, array, ("gather", dst, array.shape))
+        self._record(rank, "gather", array.nbytes, phase)
+        if rank == dst:
+            return [np.asarray(s).copy() for s in slots]
+        return None
+
+    def scatter(
+        self, rank: int, arrays: Sequence[np.ndarray] | None, src: int, phase: str = ""
+    ) -> np.ndarray:
+        self.group_index(src)
+        tag = ("scatter", src)
+        slots = self._rendezvous.exchange(rank, arrays, tag)
+        payload = slots[self.group_index(src)]
+        if payload is None or len(payload) != self.size:
+            raise ValueError(f"scatter: src must supply {self.size} arrays")
+        mine = np.asarray(payload[self.group_index(rank)])
+        self._record(rank, "scatter", mine.nbytes, phase)
+        return mine if rank == src else mine.copy()
+
+    def all_to_all(self, rank: int, arrays: Sequence[np.ndarray], phase: str = "") -> list[np.ndarray]:
+        """Rank i's j-th array goes to rank j's i-th output slot."""
+        if len(arrays) != self.size:
+            raise ValueError(f"all_to_all needs {self.size} arrays, got {len(arrays)}")
+        slots = self._rendezvous.exchange(rank, list(arrays), ("all_to_all",))
+        idx = self.group_index(rank)
+        out = [np.asarray(s[idx]).copy() for s in slots]
+        self._record(rank, "all_to_all", sum(a.nbytes for a in out), phase)
+        return out
+
+    # -- point-to-point ------------------------------------------------------
+
+    def send(self, rank: int, dst: int, array: np.ndarray, tag: int = 0, phase: str = "") -> None:
+        self.group_index(rank)
+        self.group_index(dst)
+        self.fabric.send(rank, dst, np.asarray(array).copy(), tag)
+        self._record(rank, "send", array.nbytes, phase)
+
+    def recv(self, rank: int, src: int, tag: int = 0, phase: str = "") -> np.ndarray:
+        self.group_index(rank)
+        self.group_index(src)
+        array = self.fabric.recv(src, rank, tag)
+        self._record(rank, "recv", array.nbytes, phase)
+        return array

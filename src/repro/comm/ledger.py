@@ -1,0 +1,140 @@
+"""Per-rank communication accounting.
+
+Section 7 of the paper reasons in *nominal* volume: a reduce-scatter or an
+all-gather of a Psi-element message moves Psi elements per rank (the exact
+ring figure is (N-1)/N x Psi; the paper drops the (N-1)/N). The ledger
+records both so tests can check exact ring volumes while experiment output
+reports the paper's clean 2-Psi / 3-Psi numbers.
+
+Every entry also keeps the group size and message bytes so the cost model
+can turn the ledger into time under the alpha-beta model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+# Nominal per-rank volume as a multiple of the full message size, by op —
+# the accounting convention of the paper's Sections 7 and 8.
+NOMINAL_FACTOR = {
+    "all_reduce": 2.0,      # reduce-scatter + all-gather
+    "reduce_scatter": 1.0,
+    "all_gather": 1.0,
+    "broadcast": 1.0,       # each rank receives the full message once
+    "reduce": 1.0,
+    "gather": 1.0,
+    "scatter": 1.0,
+    "all_to_all": 1.0,
+    "send": 1.0,
+    "recv": 1.0,
+    "h2d": 1.0,             # host->device copy (Pa+cpu accounting)
+    "d2h": 1.0,             # device->host copy
+    "barrier": 0.0,
+}
+
+
+def exact_ring_factor(op: str, group_size: int) -> float:
+    """Per-rank wire traffic as a multiple of message size, ring algorithms."""
+    n = group_size
+    ring = (n - 1) / n if n > 1 else 0.0
+    return {
+        "all_reduce": 2.0 * ring,
+        "reduce_scatter": ring,
+        "all_gather": ring,
+        "broadcast": ring,
+        "reduce": ring,
+        "gather": ring,
+        "scatter": ring,
+        "all_to_all": ring,
+        "send": 1.0,
+        "recv": 1.0,
+        "h2d": 1.0,
+        "d2h": 1.0,
+        "barrier": 0.0,
+    }[op]
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One collective (or copy) as seen by one rank."""
+
+    op: str
+    message_bytes: int
+    group_size: int
+    group_ranks: tuple[int, ...]
+    phase: str = ""  # caller-supplied label, e.g. "grad-reduce", "param-allgather"
+
+    @property
+    def nominal_bytes(self) -> float:
+        return NOMINAL_FACTOR[self.op] * self.message_bytes
+
+    @property
+    def exact_bytes(self) -> float:
+        return exact_ring_factor(self.op, self.group_size) * self.message_bytes
+
+
+class CommLedger:
+    """Accumulates one rank's communication events."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.events: list[CommEvent] = []
+        self.enabled = True
+
+    def record(
+        self,
+        op: str,
+        message_bytes: int,
+        group_ranks: tuple[int, ...],
+        phase: str = "",
+    ) -> None:
+        if not self.enabled:
+            return
+        if op not in NOMINAL_FACTOR:
+            raise ValueError(f"unknown communication op {op!r}")
+        self.events.append(
+            CommEvent(
+                op=op,
+                message_bytes=int(message_bytes),
+                group_size=len(group_ranks),
+                group_ranks=tuple(group_ranks),
+                phase=phase,
+            )
+        )
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # -- aggregation -------------------------------------------------------
+
+    def nominal_bytes(self, *, op: str | None = None, phase: str | None = None) -> float:
+        return sum(e.nominal_bytes for e in self._select(op, phase))
+
+    def exact_bytes(self, *, op: str | None = None, phase: str | None = None) -> float:
+        return sum(e.exact_bytes for e in self._select(op, phase))
+
+    def message_bytes(self, *, op: str | None = None, phase: str | None = None) -> int:
+        return sum(e.message_bytes for e in self._select(op, phase))
+
+    def by_op(self) -> dict[str, float]:
+        """Nominal bytes per op name."""
+        totals: dict[str, float] = defaultdict(float)
+        for e in self.events:
+            totals[e.op] += e.nominal_bytes
+        return dict(totals)
+
+    def by_phase(self) -> dict[str, float]:
+        """Nominal bytes per caller phase label."""
+        totals: dict[str, float] = defaultdict(float)
+        for e in self.events:
+            totals[e.phase] += e.nominal_bytes
+        return dict(totals)
+
+    def _select(self, op: str | None, phase: str | None):
+        for e in self.events:
+            if op is not None and e.op != op:
+                continue
+            if phase is not None and e.phase != phase:
+                continue
+            yield e

@@ -1,0 +1,26 @@
+"""One runner per paper table/figure. Each module exposes run() -> data,
+render(data) -> str, and main() for CLI use:
+
+    python -m repro.experiments.fig2
+    python -m repro.experiments.table1
+    ...
+
+Modules: fig1-fig8, sec7, sec8, table1, table2. See DESIGN.md's
+per-experiment index for what each reproduces. Submodules are imported
+lazily (import repro.experiments.fig2 directly) to keep `python -m`
+invocations clean.
+"""
+
+__all__ = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "sec7", "sec8", "sec9", "table1", "table2",
+]
+
+
+def __getattr__(name):
+    """Lazy submodule access: repro.experiments.fig2 etc. import on demand."""
+    if name in __all__:
+        import importlib
+
+        return importlib.import_module(f"repro.experiments.{name}")
+    raise AttributeError(f"module 'repro.experiments' has no attribute {name!r}")

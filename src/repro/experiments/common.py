@@ -1,0 +1,94 @@
+"""Shared plumbing for the per-table/figure experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.virtual import VirtualGroup
+from repro.hardware.specs import GPUSpec, V100_32GB
+from repro.memsim.errors import OutOfMemoryError
+from repro.nn.transformer import GPTConfig
+from repro.runtime import RankContext, virtual_rank_context
+from repro.tensor.tensor import Tensor
+from repro.utils.units import GB
+from repro.zero.config import ZeROConfig
+from repro.zero.factory import build_model_and_engine
+
+SEQ_LEN = 1024
+
+
+def virtual_groups(ctx: RankContext, n_gpus: int, mp: int) -> tuple[VirtualGroup, VirtualGroup]:
+    """(dp_group, mp_group) for rank 0 of an (mp x dp) decomposition."""
+    if n_gpus % mp:
+        raise ValueError(f"n_gpus {n_gpus} not divisible by mp {mp}")
+    mp_group = VirtualGroup.of_size(mp, member_rank=0)
+    mp_group.attach_ledger(0, ctx.ledger)
+    dp_group = VirtualGroup(tuple(range(0, n_gpus, mp)), member_rank=0)
+    dp_group.attach_ledger(0, ctx.ledger)
+    return dp_group, mp_group
+
+
+@dataclass(frozen=True)
+class MetaMemoryResult:
+    """One rank's memory trace for one meta-mode training step."""
+
+    fits: bool
+    peak_allocated_bytes: int
+    max_cached_bytes: int
+    end_allocated_bytes: int
+    oom_reason: str = ""
+
+    @property
+    def peak_allocated_gb(self) -> float:
+        return self.peak_allocated_bytes / GB
+
+    @property
+    def max_cached_gb(self) -> float:
+        return self.max_cached_bytes / GB
+
+
+def meta_memory_step(
+    model_config: GPTConfig,
+    zero: ZeROConfig,
+    *,
+    n_gpus: int,
+    mp: int,
+    batch: int,
+    seq_len: int = SEQ_LEN,
+    gpu: GPUSpec = V100_32GB,
+    md_region_bytes: int | None = None,
+    steps: int = 1,
+) -> MetaMemoryResult:
+    """Run ``steps`` meta-mode training steps on one virtual rank and report
+    the allocator's peak/cached figures (the Figure 7 measurement)."""
+    ctx = virtual_rank_context(n_gpus, gpu=gpu)
+    dp_group, mp_group = virtual_groups(ctx, n_gpus, mp)
+    if md_region_bytes is None and zero.memory_defrag:
+        md_region_bytes = int(2 * GB)
+    try:
+        model, engine = build_model_and_engine(
+            ctx, model_config, zero,
+            dp_group=dp_group, mp_group=mp_group if mp > 1 else None,
+            meta=True, md_region_bytes=md_region_bytes,
+        )
+        ids = Tensor.meta((batch, seq_len), np.int64, device=ctx.device)
+        targets = Tensor.meta((batch, seq_len), np.int64, device=ctx.device)
+        for _ in range(steps):
+            engine.train_step(ids, targets)
+    except OutOfMemoryError as exc:
+        return MetaMemoryResult(
+            fits=False,
+            peak_allocated_bytes=ctx.device.max_allocated_bytes,
+            max_cached_bytes=ctx.device.max_reserved_bytes,
+            end_allocated_bytes=ctx.device.allocated_bytes,
+            oom_reason=type(exc).__name__,
+        )
+    return MetaMemoryResult(
+        fits=True,
+        peak_allocated_bytes=ctx.device.max_allocated_bytes,
+        max_cached_bytes=ctx.device.max_reserved_bytes,
+        end_allocated_bytes=ctx.device.allocated_bytes,
+    )
+

@@ -1,0 +1,96 @@
+"""Figure 6: largest trainable model under ZeRO configs C1-C5.
+
+Paper setup: MP = 16, 128 GPUs, fixed batch; enabling Pa lifts the max
+from 40B to 60B (16x less activation-checkpoint memory), Pos+g lifts it to
+140B (halved model states vs Pos), and Pa+cpu adds the last 10B (150B).
+We solve for the largest h=8192 model with the analytic memory model, and
+cross-check each solution point with a meta-mode allocator run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.max_model import max_layers
+from repro.experiments.common import meta_memory_step
+from repro.utils.tables import format_table
+
+from repro.zero.config import PAPER_CONFIGS, ZeROConfig
+
+N_GPUS = 128
+MP = 16
+BATCH = 16
+HIDDEN = 8192
+HEADS = 64
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    config: str
+    label: str
+    max_params_b: float  # allocator-verified
+    n_layers: int
+    analytic_params_b: float  # closed-form memory model's answer
+
+
+def _allocator_max_layers(zero, *, start: int) -> int:
+    """Bisect the layer count against the meta-mode allocator."""
+    from repro.nn.transformer import GPTConfig
+
+    def fits(layers: int) -> bool:
+        cfg = GPTConfig(n_layers=layers, hidden=HIDDEN, n_heads=HEADS)
+        return meta_memory_step(cfg, zero, n_gpus=N_GPUS, mp=MP, batch=BATCH).fits
+
+    if not fits(1):
+        return 0
+    lo = 1
+    hi = max(2, start)
+    while fits(hi):
+        lo, hi = hi, hi * 2
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if fits(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def run() -> list[Fig6Row]:
+    from repro.nn.transformer import GPTConfig
+
+    rows = []
+    nd = N_GPUS // MP
+    for name, zero in PAPER_CONFIGS.items():
+        analytic = max_layers(zero, hidden=HIDDEN, heads=HEADS, batch=BATCH, nd=nd, mp=MP)
+        layers = _allocator_max_layers(zero, start=analytic.config.n_layers)
+        cfg = GPTConfig(n_layers=max(layers, 1), hidden=HIDDEN, n_heads=HEADS)
+        rows.append(
+            Fig6Row(
+                config=name, label=zero.label,
+                max_params_b=(cfg.total_params / 1e9 if layers else 0.0),
+                n_layers=layers,
+                analytic_params_b=analytic.psi / 1e9,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Fig6Row]) -> str:
+    return format_table(
+        ["config", "optimizations", "max model (allocator)", "layers", "analytic model"],
+        [
+            [r.config, r.label, f"{r.max_params_b:.0f}B", r.n_layers,
+             f"{r.analytic_params_b:.0f}B"]
+            for r in rows
+        ],
+        title=f"Figure 6 — max model size (MP={MP}, batch={BATCH}, {N_GPUS} GPUs)",
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Hardware model: GPU/node specs and cluster topology (paper Section 10.1)."""
+
+from repro.hardware.specs import (
+    DGX2,
+    INFINIBAND_EDR,
+    NVSWITCH,
+    V100_32GB,
+    GPUSpec,
+    InterconnectSpec,
+    NodeSpec,
+)
+from repro.hardware.topology import ClusterTopology
+
+__all__ = [
+    "DGX2",
+    "INFINIBAND_EDR",
+    "NVSWITCH",
+    "V100_32GB",
+    "GPUSpec",
+    "InterconnectSpec",
+    "NodeSpec",
+    "ClusterTopology",
+]

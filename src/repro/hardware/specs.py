@@ -1,0 +1,74 @@
+"""Hardware specifications for the simulated cluster.
+
+Numbers come straight from the paper's evaluation section (Section 10):
+
+* V100 GPUs with 32 GB device memory ("a cluster of 400 V100 GPUs").
+* Peak half-precision throughput: the paper reports 38 TFlops/GPU as "over
+  30% of the peak", placing peak at ~125 TFlops (V100 tensor cores).
+* NVSwitch intra-node links: 300 GB/s per link; crossing the node boundary
+  drops to 12.5 GB/s per link (InfiniBand EDR) — Section 10.2.
+* A DGX-2 node holds 16 GPUs; the cluster has 800 Gbps (= 100 GB/s)
+  inter-node bandwidth per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GB, TFLOP
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A single accelerator's capacity and peak compute."""
+
+    name: str
+    memory_bytes: int
+    peak_flops: float  # half-precision peak, FLOP/s
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_bytes / GB
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Point-to-point link characteristics for one interconnect tier.
+
+    ``latency_s`` is the per-message alpha term; ``bandwidth_bytes_per_s``
+    the per-link beta term of the alpha-beta cost model.
+    """
+
+    name: str
+    bandwidth_bytes_per_s: float
+    latency_s: float
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A multi-GPU server (DGX-2: 16 V100s on an NVSwitch fabric)."""
+
+    name: str
+    gpus_per_node: int
+    gpu: GPUSpec
+    intra_node: InterconnectSpec
+    inter_node: InterconnectSpec
+
+
+V100_32GB = GPUSpec(name="V100-SXM3-32GB", memory_bytes=32 * int(GB), peak_flops=125 * TFLOP)
+
+NVSWITCH = InterconnectSpec(
+    name="NVSwitch", bandwidth_bytes_per_s=300 * GB, latency_s=3e-6
+)
+
+INFINIBAND_EDR = InterconnectSpec(
+    name="InfiniBand-EDR", bandwidth_bytes_per_s=12.5 * GB, latency_s=8e-6
+)
+
+DGX2 = NodeSpec(
+    name="DGX-2",
+    gpus_per_node=16,
+    gpu=V100_32GB,
+    intra_node=NVSWITCH,
+    inter_node=INFINIBAND_EDR,
+)

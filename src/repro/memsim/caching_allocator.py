@@ -1,0 +1,170 @@
+"""PyTorch-style caching allocator on top of the raw block allocator.
+
+torch.cuda keeps freed blocks *cached* (reserved) instead of returning them
+to the driver, retrying after an ``empty_cache()`` flush when a fresh
+cudaMalloc fails. Figure 7 of the paper reports "max cache allocated" —
+this layer is what produces that number in our simulation
+(``max_reserved_bytes``).
+
+The cache is a best-fit pool keyed by block size. A cached block larger than
+the request is reused whole when the waste is small, or split when large,
+mirroring the split behaviour of the CUDA caching allocator closely enough
+for the paper's measurements (which are about megabyte-to-gigabyte tensors,
+not sub-kilobyte noise).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.memsim.block_allocator import BlockAllocator, Extent
+from repro.memsim.errors import InvalidFreeError, OutOfMemoryError
+
+# A cached block may be reused un-split if the request wastes at most this
+# fraction of it; otherwise prefer splitting / fresh allocation.
+_REUSE_WASTE_LIMIT = 0.25
+# Blocks at least this large are split on reuse instead of wasted.
+_SPLIT_THRESHOLD = 1 << 20  # 1 MiB
+
+
+@dataclass
+class CachingStats:
+    """Counters mirroring torch.cuda.memory_stats essentials."""
+
+    allocated: int
+    reserved: int
+    max_allocated: int
+    max_reserved: int
+    n_cache_hits: int
+    n_cache_misses: int
+    n_flushes: int
+
+
+class CachingAllocator:
+    """Caching layer: ``alloc``/``free`` in user bytes, reserve in segments.
+
+    * ``allocated_bytes`` — bytes in live user allocations.
+    * ``reserved_bytes`` — bytes held from the underlying device (live +
+      cached); this is torch's "reserved"/"cached" figure.
+    """
+
+    def __init__(self, backing: BlockAllocator):
+        self.backing = backing
+        # Cached (free but reserved) extents sorted by size for best-fit.
+        self._cache_sizes: list[int] = []
+        self._cache_blocks: list[Extent] = []
+        self._live: dict[int, Extent] = {}
+        self._allocated = 0
+        self._reserved = 0
+        self.max_allocated = 0
+        self.max_reserved = 0
+        self.n_cache_hits = 0
+        self.n_cache_misses = 0
+        self.n_flushes = 0
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+    @property
+    def reserved_bytes(self) -> int:
+        return self._reserved
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._reserved - self._allocated
+
+    def stats(self) -> CachingStats:
+        return CachingStats(
+            allocated=self._allocated,
+            reserved=self._reserved,
+            max_allocated=self.max_allocated,
+            max_reserved=self.max_reserved,
+            n_cache_hits=self.n_cache_hits,
+            n_cache_misses=self.n_cache_misses,
+            n_flushes=self.n_flushes,
+        )
+
+    def reset_peak_stats(self) -> None:
+        """Reset high-water marks (torch.cuda.reset_peak_memory_stats analog)."""
+        self.max_allocated = self._allocated
+        self.max_reserved = self._reserved
+
+    # -- allocate / free -------------------------------------------------
+
+    def alloc(self, size: int, tag: str = "") -> Extent:
+        """Allocate ``size`` bytes, preferring a cached block.
+
+        On a backing-allocator failure the cache is flushed and the
+        allocation retried once — the CUDA caching allocator's fallback.
+        """
+        need = self.backing.aligned(size)
+        extent = self._take_cached(need, tag)
+        if extent is None:
+            self.n_cache_misses += 1
+            try:
+                extent = self.backing.alloc(need, tag)
+            except OutOfMemoryError:
+                self._flush_cache()
+                extent = self.backing.alloc(need, tag)  # may raise again: real OOM
+            self._reserved += extent.size
+        self._live[extent.handle] = extent
+        self._allocated += extent.size
+        self.max_allocated = max(self.max_allocated, self._allocated)
+        self.max_reserved = max(self.max_reserved, self._reserved)
+        return extent
+
+    def free(self, extent: Extent) -> None:
+        """Release a user allocation into the cache (stays reserved)."""
+        live = self._live.pop(extent.handle, None)
+        if live is None:
+            raise InvalidFreeError(
+                f"caching allocator: handle {extent.handle} is not live (double free?)"
+            )
+        self._allocated -= live.size
+        idx = bisect.bisect_left(self._cache_sizes, live.size)
+        self._cache_sizes.insert(idx, live.size)
+        self._cache_blocks.insert(idx, live)
+
+    def empty_cache(self) -> int:
+        """Return all cached blocks to the device; returns bytes released."""
+        released = self._flush_cache()
+        return released
+
+    # -- internals ---------------------------------------------------------
+
+    def _take_cached(self, need: int, tag: str) -> Extent | None:
+        idx = bisect.bisect_left(self._cache_sizes, need)
+        if idx >= len(self._cache_sizes):
+            return None
+        block = self._cache_blocks[idx]
+        waste = block.size - need
+        if waste > 0 and waste > block.size * _REUSE_WASTE_LIMIT and block.size < _SPLIT_THRESHOLD:
+            # Small block, poor fit: leave it cached, force a fresh allocation.
+            return None
+        del self._cache_sizes[idx]
+        del self._cache_blocks[idx]
+        if waste >= self.backing.alignment and block.size >= _SPLIT_THRESHOLD:
+            # Split: return the tail to the device, keep the head.
+            self.backing.free(block)
+            self._reserved -= block.size
+            self.n_cache_misses += 1
+            fresh = self.backing.alloc(need, tag)
+            self._reserved += fresh.size
+            return fresh
+        self.n_cache_hits += 1
+        return Extent(handle=block.handle, offset=block.offset, size=block.size, tag=tag)
+
+    def _flush_cache(self) -> int:
+        released = 0
+        for block in self._cache_blocks:
+            self.backing.free(block)
+            released += block.size
+        self._reserved -= released
+        self._cache_sizes.clear()
+        self._cache_blocks.clear()
+        self.n_flushes += 1
+        return released

@@ -1,0 +1,233 @@
+"""Simulated accelerator device and host (CPU) memory pools.
+
+A ``Device`` wires a raw block allocator and a caching allocator together
+and exposes torch.cuda-like accounting (allocated / reserved / peaks).
+``HostMemory`` is the CPU pool used by Pa+cpu activation offload — treated
+as effectively unbounded (the paper never hits CPU capacity) but fully
+accounted so experiments can report offloaded bytes.
+
+``ContiguousRegion`` is the primitive behind ZeRO-R's memory
+defragmentation (MD, Section 6.3): one long-lived extent carved out up
+front, with a trivial bump/slot allocator inside so long-lived tensors
+(activation checkpoints, parameter gradients) never interleave with
+short-lived ones in the general heap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import GPUSpec, V100_32GB
+from repro.memsim.block_allocator import BlockAllocator, Extent
+from repro.memsim.caching_allocator import CachingAllocator
+from repro.memsim.errors import InvalidFreeError, OutOfMemoryError
+
+
+class Device:
+    """One simulated GPU: capacity, caching allocator, peak accounting."""
+
+    def __init__(self, spec: GPUSpec = V100_32GB, *, index: int = 0, use_cache: bool = True):
+        self.spec = spec
+        self.index = index
+        self.name = f"sim-gpu:{index}"
+        self.raw = BlockAllocator(spec.memory_bytes, name=self.name)
+        self.cache = CachingAllocator(self.raw) if use_cache else None
+        # ZeRO-R MD: optional routing of long-lived tensors into a
+        # pre-allocated contiguous region (see enable_defrag).
+        self._md_allocator: BlockAllocator | None = None
+        self._md_extent: Extent | None = None
+        self._md_predicate = None
+
+    # -- ZeRO-R MD (memory defragmentation, Section 6.3) --------------------
+
+    def enable_defrag(self, region_bytes: int, tag_predicate) -> None:
+        """Reserve one contiguous region and route allocations whose tag
+        satisfies ``tag_predicate`` (e.g. gradients, activation checkpoints)
+        into it, so long-lived tensors never interleave with short-lived
+        ones in the general heap."""
+        if self._md_allocator is not None:
+            raise ValueError(f"{self.name}: defrag region already enabled")
+        self._md_extent = self.raw.alloc(region_bytes, "md-region")
+        self._md_allocator = BlockAllocator(region_bytes, name=f"{self.name}/md")
+        self._md_predicate = tag_predicate
+
+    def disable_defrag(self) -> None:
+        if self._md_allocator is None:
+            return
+        if self._md_allocator.allocated_bytes:
+            raise ValueError(f"{self.name}: defrag region still has live tensors")
+        self.raw.free(self._md_extent)
+        self._md_allocator = None
+        self._md_extent = None
+        self._md_predicate = None
+
+    @property
+    def md_region_bytes(self) -> int:
+        return self._md_allocator.capacity if self._md_allocator else 0
+
+    # -- allocation ------------------------------------------------------
+
+    def alloc(self, size: int, tag: str = "") -> Extent:
+        if self._md_allocator is not None and self._md_predicate(tag):
+            try:
+                inner = self._md_allocator.alloc(size, tag)
+                return Extent(
+                    handle=inner.handle, offset=inner.offset, size=inner.size,
+                    tag=tag, pool="md",
+                )
+            except OutOfMemoryError:
+                pass  # region full: fall through to the general heap
+        if self.cache is not None:
+            return self.cache.alloc(size, tag)
+        return self.raw.alloc(size, tag)
+
+    def free(self, extent: Extent) -> None:
+        if extent.pool == "md":
+            if self._md_allocator is None:
+                raise InvalidFreeError(f"{self.name}: md extent freed after disable_defrag")
+            self._md_allocator.free(extent)
+        elif self.cache is not None:
+            self.cache.free(extent)
+        else:
+            self.raw.free(extent)
+
+    # -- accounting (torch.cuda.* analogs) ---------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.cache.allocated_bytes if self.cache else self.raw.allocated_bytes
+
+    @property
+    def reserved_bytes(self) -> int:
+        return self.cache.reserved_bytes if self.cache else self.raw.allocated_bytes
+
+    @property
+    def max_allocated_bytes(self) -> int:
+        return self.cache.max_allocated if self.cache else self.raw.allocated_bytes
+
+    @property
+    def max_reserved_bytes(self) -> int:
+        """Peak reserved memory — the paper's Figure 7 'max cache allocated'."""
+        return self.cache.max_reserved if self.cache else self.raw.allocated_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.memory_bytes - self.allocated_bytes
+
+    def reset_peak_stats(self) -> None:
+        if self.cache is not None:
+            self.cache.reset_peak_stats()
+
+    def empty_cache(self) -> int:
+        return self.cache.empty_cache() if self.cache else 0
+
+    def preallocate_region(self, size: int, tag: str = "md-region") -> "ContiguousRegion":
+        """Carve a long-lived contiguous region (MD optimization)."""
+        return ContiguousRegion(self, size, tag=tag)
+
+
+class HostMemory:
+    """CPU-side memory pool for activation offload (Pa+cpu).
+
+    Capacity defaults to 1.5 TB (a DGX-2's host RAM); the simulation only
+    needs byte accounting, so the allocator is a plain counter.
+    """
+
+    def __init__(self, capacity: int = int(1.5e12)):
+        self.capacity = capacity
+        self.allocated_bytes = 0
+        self.max_allocated_bytes = 0
+        self._live: dict[int, int] = {}
+        self._next_handle = 1
+
+    def alloc(self, size: int, tag: str = "") -> int:
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if self.allocated_bytes + size > self.capacity:
+            raise OutOfMemoryError(
+                size, self.capacity - self.allocated_bytes, 0, device="host"
+            )
+        handle = self._next_handle
+        self._next_handle += 1
+        self._live[handle] = size
+        self.allocated_bytes += size
+        self.max_allocated_bytes = max(self.max_allocated_bytes, self.allocated_bytes)
+        return handle
+
+    def free(self, handle: int) -> None:
+        size = self._live.pop(handle, None)
+        if size is None:
+            raise InvalidFreeError(f"host: handle {handle} is not live (double free?)")
+        self.allocated_bytes -= size
+
+
+@dataclass
+class _Slot:
+    offset: int
+    size: int
+
+
+class ContiguousRegion:
+    """Slab of device memory with an internal reset-style slot allocator.
+
+    MD copies long-lived tensors (gradients, activation checkpoints) into a
+    region like this as they are produced; the region is reused every
+    iteration via ``reset()``, so the general heap never sees their
+    lifetimes and cannot fragment around them.
+    """
+
+    def __init__(self, device: Device, size: int, *, tag: str = "md-region"):
+        # Bypass the cache: the region must be one *physical* extent.
+        self.device = device
+        self.extent = device.raw.alloc(size, tag)
+        self.size = self.extent.size
+        self._cursor = 0
+        self._live_slots: dict[int, _Slot] = {}
+        self._next_slot = 1
+        self.released = False
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cursor
+
+    @property
+    def free_bytes(self) -> int:
+        return self.size - self._cursor
+
+    def alloc(self, size: int) -> int:
+        """Bump-allocate a slot inside the region; returns a slot handle."""
+        self._check_open()
+        if size <= 0:
+            raise ValueError(f"slot size must be positive, got {size}")
+        if self._cursor + size > self.size:
+            raise OutOfMemoryError(
+                size, self.free_bytes, self.free_bytes, device="md-region"
+            )
+        slot = _Slot(self._cursor, size)
+        self._cursor += size
+        handle = self._next_slot
+        self._next_slot += 1
+        self._live_slots[handle] = slot
+        return handle
+
+    def free_slot(self, handle: int) -> None:
+        """Mark a slot dead. Space is reclaimed only by ``reset()`` (bump style)."""
+        if self._live_slots.pop(handle, None) is None:
+            raise InvalidFreeError(f"md-region: slot {handle} is not live")
+
+    def reset(self) -> None:
+        """Recycle the whole region for the next iteration."""
+        self._check_open()
+        self._live_slots.clear()
+        self._cursor = 0
+
+    def release(self) -> None:
+        """Return the region to the device."""
+        if not self.released:
+            self.device.raw.free(self.extent)
+            self.released = True
+            self._live_slots.clear()
+
+    def _check_open(self) -> None:
+        if self.released:
+            raise InvalidFreeError("md-region: already released")

@@ -1,0 +1,36 @@
+"""Memory-simulator error types.
+
+The paper distinguishes two out-of-memory failure modes (Section 3.2 /
+Section 6.3): genuinely exhausted capacity, and *fragmentation* OOM where
+"over 30% of memory [is] still available" but no contiguous block satisfies
+the request. We keep them as separate exception types so tests and the MD
+experiments can assert which one occurred.
+"""
+
+from __future__ import annotations
+
+
+class OutOfMemoryError(MemoryError):
+    """Device allocation failed: not enough free capacity."""
+
+    def __init__(self, requested: int, free: int, largest_free: int, device: str = "gpu"):
+        self.requested = requested
+        self.free = free
+        self.largest_free = largest_free
+        self.device = device
+        super().__init__(
+            f"{device}: out of memory allocating {requested} bytes "
+            f"(free {free}, largest contiguous {largest_free})"
+        )
+
+
+class FragmentationError(OutOfMemoryError):
+    """Allocation failed despite sufficient *total* free memory.
+
+    Raised when ``free >= requested`` but no contiguous free block fits —
+    exactly the failure ZeRO-R's memory defragmentation (MD) prevents.
+    """
+
+
+class InvalidFreeError(ValueError):
+    """A handle was freed twice or never belonged to this allocator."""

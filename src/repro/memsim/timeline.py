@@ -1,0 +1,132 @@
+"""Memory timeline: allocated/reserved bytes over the course of a step.
+
+Attaching a ``MemoryTimeline`` to a Device records a sample after every
+allocation and free (optionally labelled by phase marks the caller drops),
+yielding the within-step memory profile — the forward ramp as activations
+accumulate, the backward descent as caches free, the optimizer plateau.
+This is the simulated counterpart of a torch.profiler memory trace and
+powers ``examples/memory_timeline.py``.
+
+The tracer wraps the device's alloc/free; ``detach()`` restores them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memsim.device import Device
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    index: int  # event sequence number
+    allocated: int
+    reserved: int
+    delta: int  # +size for alloc, -size for free
+    tag: str
+    phase: str
+
+
+class MemoryTimeline:
+    """Samples the device on every allocator event."""
+
+    def __init__(self, device: Device):
+        self.device = device
+        self.samples: list[MemorySample] = []
+        self.phase = ""
+        self._orig_alloc = device.alloc
+        self._orig_free = device.free
+        self._attached = True
+        device.alloc = self._alloc  # type: ignore[method-assign]
+        device.free = self._free  # type: ignore[method-assign]
+
+    # -- instrumented entry points ---------------------------------------------
+
+    def _alloc(self, size: int, tag: str = ""):
+        extent = self._orig_alloc(size, tag)
+        self._sample(+extent.size, tag)
+        return extent
+
+    def _free(self, extent) -> None:
+        self._orig_free(extent)
+        self._sample(-extent.size, extent.tag)
+
+    def _sample(self, delta: int, tag: str) -> None:
+        self.samples.append(
+            MemorySample(
+                index=len(self.samples),
+                allocated=self.device.allocated_bytes,
+                reserved=self.device.reserved_bytes,
+                delta=delta,
+                tag=tag,
+                phase=self.phase,
+            )
+        )
+
+    # -- caller API ---------------------------------------------------------------
+
+    def mark(self, phase: str) -> None:
+        """Label subsequent samples (e.g. 'forward', 'backward', 'optimizer')."""
+        self.phase = phase
+
+    def detach(self) -> None:
+        if self._attached:
+            self.device.alloc = self._orig_alloc  # type: ignore[method-assign]
+            self.device.free = self._orig_free  # type: ignore[method-assign]
+            self._attached = False
+
+    # -- analysis ------------------------------------------------------------------
+
+    def peak_allocated(self, phase: str | None = None) -> int:
+        selected = [s for s in self.samples if phase is None or s.phase == phase]
+        return max((s.allocated for s in selected), default=0)
+
+    def phase_peaks(self) -> dict[str, int]:
+        peaks: dict[str, int] = {}
+        for s in self.samples:
+            peaks[s.phase] = max(peaks.get(s.phase, 0), s.allocated)
+        return peaks
+
+    def largest_allocations(self, n: int = 5) -> list[MemorySample]:
+        allocs = [s for s in self.samples if s.delta > 0]
+        return sorted(allocs, key=lambda s: -s.delta)[:n]
+
+    def ascii_plot(self, width: int = 72, height: int = 10) -> str:
+        """Downsampled allocated-bytes curve with phase boundary markers."""
+        if not self.samples:
+            return "(no samples)"
+        values = [s.allocated for s in self.samples]
+        peak = max(values) or 1
+        n = len(values)
+        cols = []
+        for c in range(width):
+            lo = c * n // width
+            hi = max(lo + 1, (c + 1) * n // width)
+            cols.append(max(values[lo:hi]))
+        grid = []
+        for row in range(height, 0, -1):
+            threshold = peak * row / height
+            grid.append(
+                "".join("#" if v >= threshold else " " for v in cols)
+            )
+        # Phase boundary ruler.
+        ruler = [" "] * width
+        last_phase = None
+        for i, s in enumerate(self.samples):
+            if s.phase != last_phase:
+                pos = min(width - 1, i * width // n)
+                ruler[pos] = "|"
+                last_phase = s.phase
+        from repro.utils.units import bytes_to_str
+
+        lines = [f"peak {bytes_to_str(peak)}"]
+        lines += ["  " + row for row in grid]
+        lines.append("  " + "".join(ruler))
+        phases = []
+        seen = set()
+        for s in self.samples:
+            if s.phase not in seen:
+                seen.add(s.phase)
+                phases.append(s.phase or "(unlabelled)")
+        lines.append("  phases: " + " | ".join(phases))
+        return "\n".join(lines)

@@ -1,0 +1,435 @@
+"""Transformer MLP, pre-norm block, and GPT-2-like causal LM.
+
+Architecture follows the paper's experimental models (Section 10.1,
+appendix Tables 4-10): GPT-2-like blocks parameterized by (layers, hidden,
+heads), trained with sequence length 1024 and vocab 50257 unless a config
+overrides them. Parameters per block are approximately 12 x hidden^2, which
+is how the paper's "layers x hidden" pairs map to its headline model sizes
+(e.g. 48 x 1600^2 x 12 = 1.47B for the "1.5B" model).
+
+The model is organized as a sequence of *units* — embedding unit, one unit
+per transformer block, head unit — and invokes an optional ``UnitListener``
+around each unit's forward/backward. That hook is how ZeRO stage 3
+materializes a unit's partitioned parameters just-in-time and discards them
+right after use (Section 5.3's "one layer at a time" schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.memsim.device import Device
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import Embedding, LayerNorm, Linear
+from repro.nn.module import Cache, ExecutionContext, Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class UnitListener(Protocol):
+    """Hooks invoked around each unit's compute (ZeRO stage-3 integration)."""
+
+    def before_unit(self, unit: Module) -> None: ...
+
+    def after_unit(self, unit: Module) -> None: ...
+
+
+class _NullListener:
+    def before_unit(self, unit: Module) -> None:
+        return
+
+    def after_unit(self, unit: Module) -> None:
+        return
+
+
+class MLP(Module):
+    """fc1 -> GELU -> fc2 with the GPT-2 4x expansion."""
+
+    def __init__(
+        self,
+        name: str,
+        hidden: int,
+        *,
+        expansion: int = 4,
+        dtype=np.float16,
+        device: Device | None = None,
+        rng: np.random.Generator | None = None,
+        init_std: float = 0.02,
+        meta: bool = False,
+    ):
+        super().__init__(name)
+        inner = expansion * hidden
+        self.fc1 = self.register_module(
+            Linear(f"{name}.fc1", hidden, inner, dtype=dtype, device=device,
+                   rng=rng, init_std=init_std, meta=meta)
+        )
+        self.fc2 = self.register_module(
+            Linear(f"{name}.fc2", inner, hidden, dtype=dtype, device=device,
+                   rng=rng, init_std=init_std, meta=meta)
+        )
+
+    def forward(self, x: Tensor, ctx: ExecutionContext) -> tuple[Tensor, Cache]:
+        h1, c1 = self.fc1.forward(x, ctx)
+        h2 = F.gelu(h1, tag=f"{self.name}.gelu")
+        y, c2 = self.fc2.forward(h2, ctx)
+        cache = Cache()
+        cache.own(h1=h1, h2=h2)
+        cache.child("fc1", c1)
+        cache.child("fc2", c2)
+        return y, cache
+
+    def backward(self, cache: Cache, dout: Tensor) -> Tensor:
+        dh2 = self.fc2.backward(cache.children["fc2"], dout)
+        dh1 = F.gelu_grad(cache["h1"], dh2, tag=f"{self.name}.dgelu")
+        dh2.free()
+        dx = self.fc1.backward(cache.children["fc1"], dh1)
+        dh1.free()
+        return dx
+
+
+class TransformerBlock(Module):
+    """Pre-norm block: x + attn(ln1(x)), then x + mlp(ln2(x))."""
+
+    def __init__(
+        self,
+        name: str,
+        hidden: int,
+        n_heads: int,
+        *,
+        dtype=np.float16,
+        device: Device | None = None,
+        rng: np.random.Generator | None = None,
+        init_std: float = 0.02,
+        meta: bool = False,
+    ):
+        super().__init__(name)
+        self.hidden = hidden
+        self.ln1 = self.register_module(
+            LayerNorm(f"{name}.ln1", hidden, dtype=dtype, device=device, meta=meta)
+        )
+        self.attn = self.register_module(
+            MultiHeadAttention(f"{name}.attn", hidden, n_heads, dtype=dtype,
+                               device=device, rng=rng, init_std=init_std, meta=meta)
+        )
+        self.ln2 = self.register_module(
+            LayerNorm(f"{name}.ln2", hidden, dtype=dtype, device=device, meta=meta)
+        )
+        self.mlp = self.register_module(
+            MLP(f"{name}.mlp", hidden, dtype=dtype, device=device, rng=rng,
+                init_std=init_std, meta=meta)
+        )
+
+    def forward(self, x: Tensor, ctx: ExecutionContext) -> tuple[Tensor, Cache]:
+        n1, c_ln1 = self.ln1.forward(x, ctx)
+        a, c_attn = self.attn.forward(n1, ctx)
+        r1 = F.add(x, a, tag=f"{self.name}.res1")
+        a.free()
+        n2, c_ln2 = self.ln2.forward(r1, ctx)
+        m, c_mlp = self.mlp.forward(n2, ctx)
+        y = F.add(r1, m, tag=f"{self.name}.res2")
+        m.free()
+        cache = Cache()
+        cache.own(n1=n1, r1=r1, n2=n2)
+        cache.ref(x=x)
+        cache.child("ln1", c_ln1)
+        cache.child("attn", c_attn)
+        cache.child("ln2", c_ln2)
+        cache.child("mlp", c_mlp)
+        return y, cache
+
+    def backward(self, cache: Cache, dout: Tensor) -> Tensor:
+        dm = self.mlp.backward(cache.children["mlp"], dout)
+        dn2 = self.ln2.backward(cache.children["ln2"], dm)
+        dm.free()
+        dr1 = F.add(dout, dn2, tag=f"{self.name}.dres1")  # residual fan-in
+        dn2.free()
+        da = self.attn.backward(cache.children["attn"], dr1)
+        dn1 = self.ln1.backward(cache.children["ln1"], da)
+        da.free()
+        dx = F.add(dr1, dn1, tag=f"{self.name}.dx")
+        dr1.free()
+        dn1.free()
+        return dx
+
+
+class EmbeddingUnit(Module):
+    """Token + position embeddings summed into the first hidden state."""
+
+    def __init__(
+        self,
+        name: str,
+        vocab_size: int,
+        max_seq_len: int,
+        hidden: int,
+        *,
+        dtype=np.float16,
+        device: Device | None = None,
+        rng: np.random.Generator | None = None,
+        init_std: float = 0.02,
+        meta: bool = False,
+    ):
+        super().__init__(name)
+        self.wte = self.register_module(
+            Embedding(f"{name}.wte", vocab_size, hidden, dtype=dtype,
+                      device=device, rng=rng, init_std=init_std, meta=meta)
+        )
+        self.wpe = self.register_module(
+            Embedding(f"{name}.wpe", max_seq_len, hidden, dtype=dtype,
+                      device=device, rng=rng, init_std=init_std, meta=meta)
+        )
+
+    def forward(self, token_ids: Tensor, ctx: ExecutionContext) -> tuple[Tensor, Cache]:
+        b, s = token_ids.shape
+        pos = Tensor(
+            (s,), np.dtype(np.int64),
+            data=None if token_ids.is_meta else np.arange(s, dtype=np.int64),
+            device=None, tag="pos",
+        )
+        tok_emb, c_wte = self.wte.forward(token_ids, ctx)
+        pos_emb, c_wpe = self.wpe.forward(pos, ctx)
+        h = F.add(tok_emb, pos_emb, tag=f"{self.name}.out")  # (B,S,H) broadcast
+        tok_emb.free()
+        pos_emb.free()
+        cache = Cache()
+        cache.child("wte", c_wte)
+        cache.child("wpe", c_wpe)
+        return h, cache
+
+    def backward(self, cache: Cache, dout: Tensor) -> Tensor:
+        self.wte.backward(cache.children["wte"], dout).free_if_alive()
+        # Position-embedding grad: sum over the batch axis.
+        dpos3 = F.sum_to(dout, (1, dout.shape[1], dout.shape[2]), tag=f"{self.name}.dpos3")
+        dpos = F.reshape(dpos3, (dout.shape[1], dout.shape[2]), tag=f"{self.name}.dpos")
+        self.wpe.backward(cache.children["wpe"], dpos).free_if_alive()
+        dpos3.free()
+        # No gradient flows to integer token ids; return dout for symmetry.
+        return dout
+
+
+class HeadUnit(Module):
+    """Final LayerNorm + (untied) LM head projecting to the vocabulary."""
+
+    def __init__(
+        self,
+        name: str,
+        hidden: int,
+        vocab_size: int,
+        *,
+        dtype=np.float16,
+        device: Device | None = None,
+        rng: np.random.Generator | None = None,
+        init_std: float = 0.02,
+        meta: bool = False,
+    ):
+        super().__init__(name)
+        self.ln_f = self.register_module(
+            LayerNorm(f"{name}.ln_f", hidden, dtype=dtype, device=device, meta=meta)
+        )
+        self.lm_head = self.register_module(
+            Linear(f"{name}.lm_head", hidden, vocab_size, bias=False, dtype=dtype,
+                   device=device, rng=rng, init_std=init_std, meta=meta)
+        )
+
+    def forward(self, h: Tensor, ctx: ExecutionContext) -> tuple[Tensor, Cache]:
+        hn, c_ln = self.ln_f.forward(h, ctx)
+        logits, c_head = self.lm_head.forward(hn, ctx)
+        cache = Cache()
+        cache.own(hn=hn)
+        cache.child("ln_f", c_ln)
+        cache.child("lm_head", c_head)
+        return logits, cache
+
+    def backward(self, cache: Cache, dlogits: Tensor) -> Tensor:
+        dhn = self.lm_head.backward(cache.children["lm_head"], dlogits)
+        dh = self.ln_f.backward(cache.children["ln_f"], dhn)
+        dhn.free()
+        return dh
+
+
+@dataclass(frozen=True)
+class GPTConfig:
+    """GPT-2-like model shape (paper Table 4 parameterization)."""
+
+    n_layers: int
+    hidden: int
+    n_heads: int
+    vocab_size: int = 50257
+    max_seq_len: int = 1024
+    init_std: float = 0.02
+
+    @property
+    def block_params(self) -> int:
+        """Parameters in one transformer block (exact, incl. biases and LNs)."""
+        h = self.hidden
+        attn = (3 * h * h + 3 * h) + (h * h + h)
+        mlp = (4 * h * h + 4 * h) + (4 * h * h + h)
+        lns = 4 * h
+        return attn + mlp + lns
+
+    @property
+    def embedding_params(self) -> int:
+        return self.vocab_size * self.hidden + self.max_seq_len * self.hidden
+
+    @property
+    def total_params(self) -> int:
+        """Embeddings + blocks + final LN + untied LM head (exact count)."""
+        return (
+            self.embedding_params
+            + self.n_layers * self.block_params
+            + 2 * self.hidden
+            + self.vocab_size * self.hidden
+        )
+
+
+class GPT2Model(Module):
+    """Unit-structured GPT-2: embedding unit, N blocks, head unit.
+
+    ``checkpoint_activations=True`` frees each block's internal cache right
+    after its forward pass, retaining only the block *input* through the
+    pluggable ``activation_store`` (plain checkpointing by default; ZeRO-R's
+    Pa / Pa+cpu stores shard / offload it). Internals are recomputed
+    block-by-block during backward.
+
+    ``unit_listener`` (if set) brackets every unit's forward, backward, and
+    checkpoint recomputation — ZeRO stage 3 uses it to all-gather the
+    unit's partitioned parameters before use and free them after.
+    """
+
+    def __init__(
+        self,
+        config: GPTConfig,
+        *,
+        dtype=np.float16,
+        device: Device | None = None,
+        rng: np.random.Generator | None = None,
+        meta: bool = False,
+        name: str = "gpt2",
+        checkpoint_activations: bool = False,
+        activation_store: "object | None" = None,
+    ):
+        super().__init__(name)
+        self.config = config
+        self.dtype = np.dtype(dtype)
+        self.embedding = self.register_module(
+            EmbeddingUnit(f"{name}.emb", config.vocab_size, config.max_seq_len,
+                          config.hidden, dtype=dtype, device=device, rng=rng,
+                          init_std=config.init_std, meta=meta)
+        )
+        self.blocks = [
+            self.register_module(
+                TransformerBlock(
+                    f"{name}.h{i}", config.hidden, config.n_heads,
+                    dtype=dtype, device=device, rng=rng,
+                    init_std=config.init_std, meta=meta,
+                )
+            )
+            for i in range(config.n_layers)
+        ]
+        self.head = self.register_module(
+            HeadUnit(f"{name}.head", config.hidden, config.vocab_size,
+                     dtype=dtype, device=device, rng=rng,
+                     init_std=config.init_std, meta=meta)
+        )
+        self.checkpoint_activations = checkpoint_activations
+        if activation_store is None:
+            from repro.nn.checkpoint import KeepStore
+
+            activation_store = KeepStore()
+        self.activation_store = activation_store
+        self.unit_listener: UnitListener = _NullListener()
+
+    def units(self) -> list[Module]:
+        """Ordered units: [embedding, block_0 .. block_{L-1}, head]."""
+        return [self.embedding, *self.blocks, self.head]
+
+    def make_loss_head(self):
+        """The loss matching this model's logits layout (full vocabulary)."""
+        from repro.nn.loss import CausalLMLoss
+
+        return CausalLMLoss()
+
+    def forward(self, token_ids: Tensor, ctx: ExecutionContext) -> tuple[Tensor, Cache]:
+        """token_ids: (B, S) ints -> logits (B, S, V)."""
+        _, s = token_ids.shape
+        if s > self.config.max_seq_len:
+            raise ValueError(f"sequence length {s} exceeds max {self.config.max_seq_len}")
+        listener = self.unit_listener
+        cache = Cache()
+        cache.ref(ctx=ctx)
+
+        listener.before_unit(self.embedding)
+        h, c_emb = self.embedding.forward(token_ids, ctx)
+        listener.after_unit(self.embedding)
+        cache.child("emb", c_emb)
+
+        if self.checkpoint_activations:
+            handles = []
+            for block in self.blocks:
+                listener.before_unit(block)
+                y, c_blk = block.forward(h, ctx)
+                listener.after_unit(block)
+                c_blk.free()  # internals recomputed in backward
+                handles.append(self.activation_store.stash(h))  # store owns h
+                h = y
+            cache.ref(handles=handles)
+            cache.own(h_last=h)
+        else:
+            hiddens = [h]
+            for i, block in enumerate(self.blocks):
+                listener.before_unit(block)
+                h, c_blk = block.forward(h, ctx)
+                listener.after_unit(block)
+                cache.child(f"h{i}", c_blk)
+                hiddens.append(h)
+            cache.own_list("hiddens", hiddens)
+
+        listener.before_unit(self.head)
+        logits, c_head = self.head.forward(h, ctx)
+        listener.after_unit(self.head)
+        cache.child("head", c_head)
+        return logits, cache
+
+    def backward(self, cache: Cache, dlogits: Tensor) -> Tensor:
+        listener = self.unit_listener
+        listener.before_unit(self.head)
+        dh = self.head.backward(cache.children["head"], dlogits)
+        listener.after_unit(self.head)
+
+        if self.checkpoint_activations:
+            dh = self._backward_checkpointed(cache, dh)
+        else:
+            for i in reversed(range(len(self.blocks))):
+                listener.before_unit(self.blocks[i])
+                dprev = self.blocks[i].backward(cache.children[f"h{i}"], dh)
+                listener.after_unit(self.blocks[i])
+                dh.free()
+                dh = dprev
+
+        listener.before_unit(self.embedding)
+        self.embedding.backward(cache.children["emb"], dh)
+        listener.after_unit(self.embedding)
+        return dh
+
+    def _backward_checkpointed(self, cache: Cache, dh: Tensor) -> Tensor:
+        """Recompute each block's forward from its stashed input, then backward."""
+        ctx: ExecutionContext = cache["ctx"]
+        handles = cache["handles"]
+        store = self.activation_store
+        listener = self.unit_listener
+        for i in reversed(range(len(self.blocks))):
+            x = store.retrieve(handles[i])
+            listener.before_unit(self.blocks[i])
+            y, c_blk = self.blocks[i].forward(x, ctx)  # recomputation
+            y.free()
+            dprev = self.blocks[i].backward(c_blk, dh)
+            listener.after_unit(self.blocks[i])
+            c_blk.free()
+            dh.free()
+            dh = dprev
+            if store.returns_fresh_tensor:
+                x.free_if_alive()
+            store.discard(handles[i])
+        return dh

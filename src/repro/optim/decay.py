@@ -1,0 +1,39 @@
+"""Selective weight decay (parameter groups) over the flat space.
+
+Transformer training convention (GPT-2/Megatron/AdamW practice): matrix
+weights decay, biases and LayerNorm parameters do not. Torch expresses
+this with optimizer param groups; over ZeRO's flat layout it becomes a
+per-element 0/1 mask — built identically on every rank from parameter
+names, then sliced to whatever flat range the engine owns, so the
+decision is partition-invariant and the cross-stage equivalence
+guarantees carry over.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.optim.flat import FlatLayout
+
+
+def default_weight_decay_filter(name: str) -> bool:
+    """GPT-2 convention: decay matrix weights; skip biases and LayerNorms."""
+    leaf = name.rsplit(".", 1)[-1]
+    return leaf not in ("bias", "gamma", "beta")
+
+
+def build_decay_mask(
+    layout: FlatLayout, should_decay: Callable[[str], bool]
+) -> np.ndarray:
+    """fp32 vector over the padded flat space: 1.0 where decay applies.
+
+    Padding elements get 0 (they carry no parameter, so decaying them
+    would silently drift the master padding away from zero).
+    """
+    mask = np.zeros(layout.numel, dtype=np.float32)
+    for slot in layout.slots:
+        if should_decay(slot.name):
+            mask[slot.offset : slot.end] = 1.0
+    return mask

@@ -1,0 +1,279 @@
+"""Shared training-engine scaffolding.
+
+An *engine* owns one rank's model replica (or partition), runs the
+forward/loss/backward step, and delegates gradient reduction and the
+optimizer update to its subclass — baseline DDP or a ZeRO-DP stage. The
+step structure, loss scaling, meta-mode handling, and temporary fused
+buffer accounting (Section 6.2's CB) are identical across engines and
+live here so the equivalence tests compare only what differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.group import ProcessGroup
+from repro.nn.loss import CausalLMLoss
+from repro.nn.module import ExecutionContext
+from repro.nn.transformer import GPT2Model
+from repro.optim.adam import AdamHyperparams
+from repro.optim.flat import FlatLayout
+from repro.optim.scaler import LossScaler
+from repro.runtime import RankContext
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class EngineConfig:
+    """Knobs shared by all engines."""
+
+    adam: AdamHyperparams = field(default_factory=AdamHyperparams)
+    loss_scale: float = 1.0
+    dynamic_loss_scale: bool = False
+    # Gradient-reduction bucket size in *elements*. DDP/ZeRO-2 flush a
+    # bucket whenever this many gradient elements are ready.
+    bucket_numel: int = 1 << 19
+    # Micro-batches per optimizer step. Engines with resident full
+    # gradients (DDP, stage 1) accumulate locally and reduce once at the
+    # boundary (torch's no_sync pattern); engines with partitioned
+    # gradients (stages 2-3) reduce every micro-step and accumulate in
+    # their 1/Nd shard, keeping gradient memory at 2 Psi / Nd throughout.
+    gradient_accumulation_steps: int = 1
+    # Fused fp32 working buffer for the optimizer/reduction path:
+    #   None -> a transient full-model fp32 buffer (the Section 3.2
+    #           "temporary buffer" that grows with Psi; 6 GB at 1.5B);
+    #   int  -> ZeRO-R CB: a persistent constant-size buffer; work is
+    #           chunked through it regardless of model size.
+    fused_buffer_numel: int | None = None
+    # Optional step -> lr schedule (repro.optim.lr_schedule). When set, it
+    # overrides adam.lr at every optimizer boundary, identically on every
+    # rank, so the cross-stage equivalence guarantees are unaffected.
+    lr_schedule: object | None = None
+    # Optional parameter-name predicate restricting adam.weight_decay to
+    # matching parameters (param-group semantics; see repro.optim.decay.
+    # default_weight_decay_filter for the transformer convention).
+    weight_decay_filter: object | None = None
+    # Optional global gradient-norm clip. Under ZeRO each rank holds only
+    # a gradient partition, so the norm is assembled distributively: local
+    # partition norm^2, summed across the DP group, sqrt — then every rank
+    # applies the identical scale factor.
+    grad_clip_norm: float | None = None
+
+
+@dataclass
+class StepResult:
+    loss: float | None  # None in meta mode
+    applied: bool  # False when the loss scaler skipped on overflow
+    is_boundary: bool = True  # False on non-final gradient-accumulation steps
+    step_time_model_s: float = 0.0
+
+
+class BaseEngine:
+    """Common step orchestration; subclasses implement reduction + update."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        model: GPT2Model,
+        dp_group: ProcessGroup,
+        config: EngineConfig | None = None,
+    ):
+        self.ctx = ctx
+        self.model = model
+        self.dp_group = dp_group
+        self.config = config or EngineConfig()
+        dp_group.attach_ledger(ctx.rank, ctx.ledger)
+        params = model.parameters()
+        if not params:
+            raise ValueError("model has no parameters")
+        self.is_meta = params[0].data.is_meta
+        self.layout = FlatLayout(params, pad_multiple=dp_group.size)
+        self.scaler = LossScaler(
+            init_scale=self.config.loss_scale, dynamic=self.config.dynamic_loss_scale
+        )
+        self.loss_head = (
+            model.make_loss_head() if hasattr(model, "make_loss_head") else CausalLMLoss()
+        )
+        if self.config.gradient_accumulation_steps < 1:
+            raise ValueError("gradient_accumulation_steps must be >= 1")
+        self.step_count = 0
+        self._micro_step = 0
+        # Optional repro.memsim.timeline.MemoryTimeline: when attached, the
+        # step loop labels its phases for within-step memory profiles.
+        self.timeline = None
+        # Per-element weight-decay mask over the padded flat space (None
+        # when decay applies uniformly). Engines slice their own range.
+        self.decay_mask = None
+        if self.config.weight_decay_filter is not None:
+            from repro.optim.decay import build_decay_mask
+
+            self.decay_mask = build_decay_mask(
+                self.layout, self.config.weight_decay_filter
+            )
+        # Persistent constant-size fused buffer (CB) if configured.
+        self._cb_buffer: Tensor | None = None
+        if self.config.fused_buffer_numel is not None:
+            self._cb_buffer = Tensor(
+                (self.config.fused_buffer_numel,), np.dtype(np.float32),
+                data=None if self.is_meta else np.zeros(self.config.fused_buffer_numel, np.float32),
+                device=ctx.device, tag="cb-fused-buffer",
+            )
+
+    # -- fused working buffer ------------------------------------------------
+
+    def with_fused_buffer(self, numel: int, fn) -> None:
+        """Run ``fn(chunk_lo, chunk_hi)`` over [0, numel) through the fused
+        buffer: one full-size transient allocation without CB, constant-size
+        chunks with CB. This is where CB bounds temporary-buffer memory."""
+        if self._cb_buffer is not None:
+            chunk = self._cb_buffer.size
+            for lo in range(0, numel, chunk):
+                fn(lo, min(lo + chunk, numel))
+            return
+        scratch = Tensor(
+            (numel,), np.dtype(np.float32), data=None,
+            device=self.ctx.device, tag="fused-buffer",
+        )
+        try:
+            fn(0, numel)
+        finally:
+            scratch.free()
+
+    # -- the training step ------------------------------------------------------
+
+    def train_step(self, token_ids: np.ndarray | Tensor, targets: np.ndarray | Tensor) -> StepResult:
+        """One micro-batch forward/backward; the optimizer runs on
+        gradient-accumulation boundaries (every step by default)."""
+        self._micro_step += 1
+        boundary = self._micro_step % self.config.gradient_accumulation_steps == 0
+        if boundary:
+            self.step_count += 1
+        free_inputs = []
+        if isinstance(token_ids, Tensor):
+            ids_t = token_ids
+        else:
+            ids_t = Tensor.from_numpy(np.asarray(token_ids), device=self.ctx.device, tag="batch.ids")
+            free_inputs.append(ids_t)
+        if isinstance(targets, Tensor):
+            tgt_t = targets
+        else:
+            tgt_t = Tensor.from_numpy(np.asarray(targets), device=self.ctx.device, tag="batch.targets")
+            free_inputs.append(tgt_t)
+        ctx = ExecutionContext(training=True)
+
+        self._mark("forward")
+        self._before_forward()
+        logits, cache = self.model.forward(ids_t, ctx)
+        loss, lcache = self.loss_head.forward(logits, tgt_t)
+        loss_value = None if loss.is_meta else float(loss.numpy())
+        dlogits = self.loss_head.backward(lcache, loss_scale=self.scaler.scale)
+        self._mark("backward")
+        self._before_backward()
+        dh = self.model.backward(cache, dlogits)
+        dh.free_if_alive()
+        dlogits.free_if_alive()
+        lcache.free()
+        cache.free()
+        logits.free_if_alive()
+        loss.free_if_alive()
+
+        applied = False
+        if boundary:
+            self._mark("reduce")
+            self._reduce_gradients()
+            self._mark("optimizer")
+            applied = self._optimizer_step()
+            self._release_gradients()
+        else:
+            self._mark("reduce")
+            self._micro_reduce()
+        for t in free_inputs:
+            t.free_if_alive()
+        return StepResult(loss=loss_value, applied=applied, is_boundary=boundary)
+
+    # -- hooks -------------------------------------------------------------------
+
+    def _clip_factor(self, local_norm_sq: float, *, partitioned: bool) -> float:
+        """Global-norm clip factor for this step (1.0 when clipping is off).
+
+        ``partitioned`` engines contribute a partition's norm^2 and sum it
+        across the DP group (a tiny control message, excluded from volume
+        accounting); replicated-gradient engines already hold the global
+        norm locally.
+        """
+        clip = self.config.grad_clip_norm
+        if clip is None:
+            return 1.0
+        if clip <= 0:
+            raise ValueError(f"grad_clip_norm must be positive, got {clip}")
+        total_sq = local_norm_sq
+        if partitioned and self.dp_group.size > 1:
+            flag = np.array([local_norm_sq], dtype=np.float64)
+            self.ctx.ledger.enabled = False
+            try:
+                total_sq = float(
+                    self.dp_group.all_reduce(self.ctx.rank, flag, op="sum",
+                                             phase="control")[0]
+                )
+            finally:
+                self.ctx.ledger.enabled = True
+        norm = float(np.sqrt(total_sq))
+        if norm <= clip:
+            return 1.0
+        return clip / (norm + 1e-6)
+
+    @property
+    def current_adam_hp(self):
+        """Adam hyperparameters for the current optimizer step, with the
+        LR schedule (if any) applied."""
+        schedule = self.config.lr_schedule
+        if schedule is None:
+            return self.config.adam
+        from dataclasses import replace as _replace
+
+        return _replace(self.config.adam, lr=schedule.lr(max(self.step_count, 1)))
+
+    def _mark(self, phase: str) -> None:
+        if self.timeline is not None:
+            self.timeline.mark(phase)
+
+    def _before_forward(self) -> None:
+        return
+
+    def _before_backward(self) -> None:
+        return
+
+    def _micro_reduce(self) -> None:
+        """Per-micro-step work on non-boundary steps. Engines with
+        partitioned gradients reduce here; replicated-gradient engines
+        accumulate locally and do nothing."""
+        return
+
+    @property
+    def grad_divisor(self) -> float:
+        """Mean-gradient divisor: ranks x accumulation steps x loss scale."""
+        return (
+            self.scaler.scale
+            * self.dp_group.size
+            * self.config.gradient_accumulation_steps
+        )
+
+    def _reduce_gradients(self) -> None:
+        raise NotImplementedError
+
+    def _optimizer_step(self) -> bool:
+        raise NotImplementedError
+
+    def _release_gradients(self) -> None:
+        self.model.zero_grad()
+
+    # -- teardown -----------------------------------------------------------------
+
+    def free(self) -> None:
+        """Release engine-held device memory (buffers, optimizer state)."""
+        if self._cb_buffer is not None:
+            self._cb_buffer.free_if_alive()

@@ -1,0 +1,193 @@
+"""SPMD launcher: run the same function on N simulated ranks (threads).
+
+Each rank gets a ``RankContext`` carrying its global rank, the world
+process group, its simulated Device (own allocator), the shared host pool,
+and its communication ledger. Exceptions on any rank abort the fabric so
+peers fail fast, and the first exception is re-raised in the caller.
+
+Usage::
+
+    cluster = Cluster(world_size=4)
+
+    def train(ctx):
+        grads = ...  # per-rank work
+        return ctx.world.all_reduce(ctx.rank, grads, op="avg")
+
+    results = cluster.run(train)   # list of 4 per-rank return values
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.comm.fabric import Fabric
+from repro.comm.group import ProcessGroup
+from repro.comm.ledger import CommLedger
+from repro.hardware.specs import GPUSpec, V100_32GB
+from repro.hardware.topology import ClusterTopology
+from repro.memsim.device import Device, HostMemory
+
+
+@dataclass
+class RankContext:
+    """Everything one simulated rank needs."""
+
+    rank: int
+    world_size: int
+    world: ProcessGroup
+    device: Device
+    host: HostMemory
+    ledger: CommLedger
+    topology: ClusterTopology
+    fabric: Fabric
+    _groups: dict[tuple[int, ...], ProcessGroup] = field(default_factory=dict)
+
+    def group(self, ranks: Sequence[int]) -> ProcessGroup:
+        """The (shared) process group over ``ranks``, ledger attached.
+
+        Group objects are shared across member threads via the fabric's
+        rendezvous registry; this method caches the per-rank wrapper lookup.
+        """
+        key = tuple(sorted(ranks))
+        pg = self._groups.get(key)
+        if pg is None:
+            pg = self.fabric.group_registry.setdefault_group(key)
+            self._groups[key] = pg
+        pg.attach_ledger(self.rank, self.ledger)
+        return pg
+
+    # Convenience pass-throughs for the world group.
+    def barrier(self) -> None:
+        self.world.barrier(self.rank)
+
+
+class _GroupRegistry:
+    """Process-group cache shared by all rank threads of one cluster."""
+
+    def __init__(self, fabric: Fabric):
+        self.fabric = fabric
+        self._groups: dict[tuple[int, ...], ProcessGroup] = {}
+        self._lock = threading.Lock()
+
+    def setdefault_group(self, ranks: tuple[int, ...]) -> ProcessGroup:
+        with self._lock:
+            pg = self._groups.get(ranks)
+            if pg is None:
+                pg = ProcessGroup(self.fabric, ranks)
+                self._groups[ranks] = pg
+            return pg
+
+
+def virtual_rank_context(
+    world_size: int,
+    *,
+    rank: int = 0,
+    gpu: GPUSpec = V100_32GB,
+    topology: ClusterTopology | None = None,
+) -> RankContext:
+    """One simulated rank of an arbitrarily large world, no peer threads.
+
+    Pairs with ``repro.comm.virtual.VirtualGroup``: meta-mode engines on
+    this context execute every allocation and record every communication
+    volume exactly as rank ``rank`` of a ``world_size``-GPU job would —
+    the single-thread path behind the Table 2 / Figure 6 / Figure 7
+    memory measurements.
+    """
+    from repro.comm.virtual import VirtualGroup
+
+    world = VirtualGroup.of_size(world_size, member_rank=rank)
+    ledger = CommLedger(rank=rank)
+    world.attach_ledger(rank, ledger)
+    fabric = Fabric(1)
+    return RankContext(
+        rank=rank,
+        world_size=world_size,
+        world=world,  # type: ignore[arg-type]
+        device=Device(gpu, index=rank),
+        host=HostMemory(),
+        ledger=ledger,
+        topology=topology or ClusterTopology.for_world_size(world_size),
+        fabric=fabric,
+    )
+
+
+class Cluster:
+    """A world of simulated GPUs; ``run`` executes an SPMD function on all."""
+
+    def __init__(
+        self,
+        world_size: int,
+        *,
+        gpu: GPUSpec = V100_32GB,
+        topology: ClusterTopology | None = None,
+        timeout_s: float = 120.0,
+        host: HostMemory | None = None,
+    ):
+        self.world_size = world_size
+        self.topology = topology or ClusterTopology.for_world_size(world_size)
+        if self.topology.world_size != world_size:
+            raise ValueError(
+                f"topology world_size {self.topology.world_size} != cluster {world_size}"
+            )
+        self.fabric = Fabric(world_size, timeout_s=timeout_s)
+        self.fabric.group_registry = _GroupRegistry(self.fabric)  # type: ignore[attr-defined]
+        self.devices = [Device(gpu, index=i) for i in range(world_size)]
+        self.host = host or HostMemory()
+        self.ledgers = [CommLedger(rank=i) for i in range(world_size)]
+        self._world_group = self.fabric.group_registry.setdefault_group(
+            tuple(range(world_size))
+        )
+
+    def context(self, rank: int) -> RankContext:
+        """Build rank ``rank``'s context (exposed for single-rank tests)."""
+        self._world_group.attach_ledger(rank, self.ledgers[rank])
+        return RankContext(
+            rank=rank,
+            world_size=self.world_size,
+            world=self._world_group,
+            device=self.devices[rank],
+            host=self.host,
+            ledger=self.ledgers[rank],
+            topology=self.topology,
+            fabric=self.fabric,
+        )
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:
+        """Run ``fn(ctx, *args, **kwargs)`` on every rank; return per-rank results.
+
+        The first rank exception (by rank order) is re-raised after all
+        threads stop; sibling ranks blocked in collectives are released by
+        aborting the fabric.
+        """
+        results: list[Any] = [None] * self.world_size
+        errors: list[BaseException | None] = [None] * self.world_size
+
+        def worker(rank: int) -> None:
+            try:
+                results[rank] = fn(self.context(rank), *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - must not hang siblings
+                errors[rank] = exc
+                self.fabric.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"rank-{r}", daemon=True)
+            for r in range(self.world_size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Prefer the root cause: a rank's own failure outranks the
+        # FabricAbortedError its peers raised when the fabric was torn down.
+        from repro.comm.fabric import FabricAbortedError
+
+        root = [e for e in errors if e is not None and not isinstance(e, FabricAbortedError)]
+        secondary = [e for e in errors if isinstance(e, FabricAbortedError)]
+        if root:
+            raise root[0]
+        if secondary:
+            raise secondary[0]
+        return results

@@ -1,0 +1,6 @@
+"""Device-accounted tensors (real or meta) and primitive NN ops."""
+
+from repro.tensor.tensor import DTYPE_SIZES, Tensor, dtype_size
+from repro.tensor import functional
+
+__all__ = ["DTYPE_SIZES", "Tensor", "dtype_size", "functional"]

@@ -1,0 +1,171 @@
+"""Device-accounted tensors with real (numpy) or *meta* (shape-only) storage.
+
+Two execution modes share every code path above this layer:
+
+* **real** — ``data`` is a numpy array; numerics are exact. Used by the
+  correctness tests and small-scale examples.
+* **meta** — ``data is None``; only shape/dtype exist. Every allocation and
+  free still goes through the simulated device allocator and every
+  collective still logs its volume, so 100B-parameter configurations run in
+  milliseconds while producing exact byte counts (the paper's memory and
+  communication measurements need sizes and lifetimes, not values).
+
+Lifetime is explicit: the training engines free activations when their
+backward use ends, because the simulated allocator — like CUDA — has no
+garbage collector. ``free()`` is strict (double free raises) so lifetime
+bugs surface in tests instead of skewing memory measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.memsim.block_allocator import Extent
+from repro.memsim.device import Device
+
+DTYPE_SIZES = {
+    np.dtype(np.float16): 2,
+    np.dtype(np.float32): 4,
+    np.dtype(np.float64): 8,
+    np.dtype(np.int32): 4,
+    np.dtype(np.int64): 8,
+}
+
+
+def dtype_size(dtype: np.dtype) -> int:
+    dt = np.dtype(dtype)
+    try:
+        return DTYPE_SIZES[dt]
+    except KeyError:
+        raise ValueError(f"unsupported dtype {dt}") from None
+
+
+class Tensor:
+    """A shape+dtype value, optionally backed by numpy data and device memory."""
+
+    __slots__ = ("shape", "dtype", "data", "device", "extent", "tag", "_freed")
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        *,
+        data: Optional[np.ndarray] = None,
+        device: Optional[Device] = None,
+        tag: str = "",
+        alloc: bool = True,
+    ):
+        """``alloc=False`` builds a *view*: it carries ``device`` for
+        propagation to downstream results but reserves no memory itself
+        (reshape/transpose on a GPU are metadata ops, not copies)."""
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        dtype_size(self.dtype)  # validate
+        if data is not None:
+            data = np.asarray(data, dtype=self.dtype)
+            if data.shape != self.shape:
+                raise ValueError(f"data shape {data.shape} != tensor shape {self.shape}")
+        self.data = data
+        self.device = device
+        self.tag = tag
+        self._freed = False
+        self.extent: Optional[Extent] = None
+        if alloc and device is not None and self.nbytes > 0:
+            self.extent = device.alloc(self.nbytes, tag)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_numpy(cls, array: np.ndarray, *, device: Device | None = None, tag: str = "") -> "Tensor":
+        array = np.asarray(array)
+        return cls(array.shape, array.dtype, data=array, device=device, tag=tag)
+
+    @classmethod
+    def meta(cls, shape: tuple[int, ...], dtype: np.dtype, *, device: Device | None = None, tag: str = "") -> "Tensor":
+        return cls(shape, dtype, data=None, device=device, tag=tag)
+
+    @classmethod
+    def zeros(cls, shape: tuple[int, ...], dtype: np.dtype, *, device: Device | None = None, tag: str = "") -> "Tensor":
+        return cls(shape, dtype, data=np.zeros(shape, dtype=dtype), device=device, tag=tag)
+
+    def like(self, data: Optional[np.ndarray], shape: tuple[int, ...] | None = None, dtype: np.dtype | None = None, tag: str | None = None) -> "Tensor":
+        """New tensor on this tensor's device; meta iff ``data is None``."""
+        if data is not None:
+            shape = data.shape
+            dtype = data.dtype if dtype is None else dtype
+        if shape is None or dtype is None:
+            raise ValueError("meta result needs explicit shape and dtype")
+        return Tensor(
+            tuple(shape), dtype, data=data, device=self.device,
+            tag=self.tag if tag is None else tag,
+        )
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def is_meta(self) -> bool:
+        return self.data is None
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * dtype_size(self.dtype)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def reshaped_inplace(self, shape: tuple[int, ...]) -> "Tensor":
+        """Mutate this tensor's shape in place (same element count).
+
+        Unlike ``functional.reshape`` (which returns a view object), this
+        keeps ownership with the same Tensor — the natural way to fix up an
+        op output's shape without allocation or ownership transfer.
+        """
+        shape = tuple(int(s) for s in shape)
+        size = 1
+        for s in shape:
+            size *= s
+        if size != self.size:
+            raise ValueError(f"cannot reshape {self.shape} ({self.size}) to {shape}")
+        if self.data is not None:
+            self.data = self.data.reshape(shape)
+        self.shape = shape
+        return self
+
+    def numpy(self) -> np.ndarray:
+        if self.data is None:
+            raise ValueError(f"tensor {self.tag!r} is meta; it has no values")
+        return self.data
+
+    # -- lifetime ---------------------------------------------------------------
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def free(self) -> None:
+        """Release device memory and drop data. Double free raises."""
+        if self._freed:
+            raise ValueError(f"tensor {self.tag!r} already freed")
+        self._freed = True
+        if self.extent is not None and self.device is not None:
+            self.device.free(self.extent)
+            self.extent = None
+        self.data = None
+
+    def free_if_alive(self) -> None:
+        if not self._freed:
+            self.free()
+
+    def __repr__(self) -> str:
+        kind = "meta" if self.is_meta else "real"
+        return f"Tensor({kind}, shape={self.shape}, dtype={self.dtype}, tag={self.tag!r})"

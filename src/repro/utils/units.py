@@ -1,0 +1,69 @@
+"""Byte / FLOP / parameter-count unit helpers.
+
+The paper mixes decimal prefixes for parameter counts ("7.5B parameters",
+"1T parameters") with binary-ish gigabytes for memory ("120 GB", "32GB V100").
+Inspecting Table 1 shows the paper uses *decimal* GB = 1e9 bytes for memory
+arithmetic (16 bytes x 7.5e9 params = 120e9 bytes reported as "120 GB"),
+so this module defines GB = 1e9 and exposes explicit GiB where binary units
+are genuinely wanted (never for reproducing paper numbers).
+"""
+
+from __future__ import annotations
+
+# Parameter-count units (decimal, as in "7.5B parameters").
+THOUSAND = 1_000
+MILLION = 1_000_000
+BILLION = 1_000_000_000
+TRILLION = 1_000_000_000_000
+
+# Byte units. Paper arithmetic uses decimal GB (see module docstring).
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+
+KIB = 1024.0
+MIB = 1024.0**2
+GIB = 1024.0**3
+
+# FLOP units.
+GFLOP = 1e9
+TFLOP = 1e12
+PFLOP = 1e15
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert bytes to decimal gigabytes (paper convention)."""
+    return n_bytes / GB
+
+
+def gb_to_bytes(n_gb: float) -> float:
+    """Convert decimal gigabytes to bytes."""
+    return n_gb * GB
+
+
+def params_to_str(n_params: float) -> str:
+    """Render a parameter count the way the paper writes it (e.g. '7.5B')."""
+    for unit, suffix in ((TRILLION, "T"), (BILLION, "B"), (MILLION, "M"), (THOUSAND, "K")):
+        if n_params >= unit:
+            value = n_params / unit
+            text = f"{value:.2f}".rstrip("0").rstrip(".")
+            return f"{text}{suffix}"
+    return str(int(n_params))
+
+
+def bytes_to_str(n_bytes: float) -> str:
+    """Render a byte count with the largest sensible decimal unit."""
+    for unit, suffix in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(n_bytes) >= unit:
+            return f"{n_bytes / unit:.2f} {suffix}"
+    return f"{n_bytes:.0f} B"
+
+
+def flops_to_str(n_flops: float) -> str:
+    """Render a FLOP/s figure the way the paper does (TFlops / PFlops)."""
+    if abs(n_flops) >= PFLOP:
+        return f"{n_flops / PFLOP:.2f} PFlops"
+    if abs(n_flops) >= TFLOP:
+        return f"{n_flops / TFLOP:.2f} TFlops"
+    return f"{n_flops / GFLOP:.2f} GFlops"

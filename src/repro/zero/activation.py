@@ -1,0 +1,136 @@
+"""ZeRO-R Pa / Pa+cpu: partitioned activation checkpointing (Section 6.1).
+
+Megatron-style model parallelism replicates every activation across the MP
+group (each rank needs the full input to compute its slice). Pa removes
+that redundancy for the *checkpointed* activations: after a block's
+forward, its input checkpoint is split 1/Nm per MP rank; an all-gather
+re-materializes it just before the block's backward recomputation. The
+activation-checkpoint footprint drops by the MP degree.
+
+Pa+cpu additionally parks the shard in host memory, cutting the on-device
+activation footprint to ~zero at the cost of a d2h + h2d transfer per
+checkpoint (Section 8's 2x CPU data movement).
+
+These classes implement the ``ActivationStore`` protocol consumed by
+``GPT2Model(checkpoint_activations=True, activation_store=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.group import ProcessGroup
+from repro.memsim.device import Device, HostMemory
+from repro.runtime import RankContext
+from repro.tensor.tensor import Tensor, dtype_size
+
+
+@dataclass
+class _PaHandle:
+    shard: Tensor | None  # device shard (Pa) or None (Pa+cpu)
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    padded: int
+    host_handle: int | None = None
+    host_data: np.ndarray | None = None
+
+
+class PartitionedStore:
+    """Pa: keep 1/Nm of each checkpoint on-device, all-gather on retrieval."""
+
+    returns_fresh_tensor = True
+
+    def __init__(self, mp_group: ProcessGroup, ctx: RankContext):
+        self.group = mp_group
+        self.ctx = ctx
+        self.rank = ctx.rank
+        self.device: Device = ctx.device
+        mp_group.attach_ledger(ctx.rank, ctx.ledger)
+
+    def _shard_bounds(self, padded: int) -> tuple[int, int]:
+        shard = padded // self.group.size
+        idx = self.group.group_index(self.rank)
+        return idx * shard, (idx + 1) * shard
+
+    def stash(self, x: Tensor):
+        n = self.group.size
+        padded = -(-x.size // n) * n
+        lo, hi = self._shard_bounds(padded)
+        if x.is_meta:
+            shard = Tensor(
+                (hi - lo,), x.dtype, data=None, device=self.device, tag="pa-shard"
+            )
+        else:
+            flat = np.zeros(padded, x.dtype)
+            flat[: x.size] = x.data.reshape(-1)
+            shard = Tensor(
+                (hi - lo,), x.dtype, data=flat[lo:hi].copy(),
+                device=self.device, tag="pa-shard",
+            )
+        handle = _PaHandle(shard=shard, shape=x.shape, dtype=x.dtype, padded=padded)
+        x.free()  # the replicated copy dies here — that's the memory saving
+        return handle
+
+    def retrieve(self, handle: _PaHandle) -> Tensor:
+        shard = handle.shard
+        if shard.is_meta:
+            self.group.meta_collective(
+                self.rank, "all_gather",
+                handle.padded * dtype_size(handle.dtype), "activation-gather",
+            )
+            return Tensor(
+                handle.shape, handle.dtype, data=None, device=self.device, tag="pa-full"
+            )
+        full = self.group.all_gather(self.rank, shard.data, phase="activation-gather")
+        data = full[: int(np.prod(handle.shape))].reshape(handle.shape)
+        return Tensor(
+            handle.shape, handle.dtype, data=data, device=self.device, tag="pa-full"
+        )
+
+    def discard(self, handle: _PaHandle) -> None:
+        if handle.shard is not None:
+            handle.shard.free_if_alive()
+
+
+class PartitionedCPUStore(PartitionedStore):
+    """Pa+cpu: the 1/Nm shard is offloaded to host memory between passes."""
+
+    def __init__(self, mp_group: ProcessGroup, ctx: RankContext, host: HostMemory | None = None):
+        super().__init__(mp_group, ctx)
+        self.host = host or ctx.host
+
+    def stash(self, x: Tensor):
+        handle: _PaHandle = super().stash(x)
+        shard = handle.shard
+        nbytes = shard.nbytes
+        # Device -> host: account the PCIe transfer and move the bytes.
+        self.ctx.ledger.record("d2h", nbytes, (self.rank,), "activation-offload")
+        handle.host_handle = self.host.alloc(nbytes, "pa-cpu-shard")
+        handle.host_data = None if shard.is_meta else shard.data.copy()
+        shard.free()
+        handle.shard = None
+        return handle
+
+    def retrieve(self, handle: _PaHandle) -> Tensor:
+        lo, hi = self._shard_bounds(handle.padded)
+        nbytes = (hi - lo) * dtype_size(handle.dtype)
+        self.ctx.ledger.record("h2d", nbytes, (self.rank,), "activation-fetch")
+        shard = Tensor(
+            (hi - lo,), handle.dtype, data=handle.host_data,
+            device=self.device, tag="pa-shard",
+        )
+        handle.shard = shard
+        try:
+            return super().retrieve(handle)
+        finally:
+            shard.free_if_alive()
+            handle.shard = None
+
+    def discard(self, handle: _PaHandle) -> None:
+        if handle.host_handle is not None:
+            self.host.free(handle.host_handle)
+            handle.host_handle = None
+            handle.host_data = None
+        super().discard(handle)

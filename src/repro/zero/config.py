@@ -1,0 +1,53 @@
+"""ZeRO configuration: stages + ZeRO-R switches, with Table 3's C1-C5 presets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ZeROConfig:
+    """Which ZeRO optimizations are on (paper Sections 5 and 6).
+
+    stage: 0 = baseline DDP, 1 = Pos, 2 = Pos+g, 3 = Pos+g+p.
+    """
+
+    stage: int = 0
+    partition_activations: bool = False  # Pa (requires checkpointing + MP group)
+    cpu_offload_activations: bool = False  # Pa+cpu (implies Pa)
+    constant_buffers: bool = True  # CB
+    constant_buffer_numel: int = 1 << 22  # 4M elements (16 MB fp32)
+    memory_defrag: bool = True  # MD
+    checkpoint_activations: bool = True
+
+    def __post_init__(self):
+        if self.stage not in (0, 1, 2, 3):
+            raise ValueError(f"ZeRO stage must be 0-3, got {self.stage}")
+        if self.cpu_offload_activations and not self.partition_activations:
+            raise ValueError("Pa+cpu requires partition_activations (Pa)")
+
+    @property
+    def label(self) -> str:
+        stage_name = {0: "baseline", 1: "Pos", 2: "Pos+g", 3: "Pos+g+p"}[self.stage]
+        extras = []
+        if self.constant_buffers:
+            extras.append("CB")
+        if self.memory_defrag:
+            extras.append("MD")
+        if self.partition_activations:
+            extras.append("Pa+cpu" if self.cpu_offload_activations else "Pa")
+        return stage_name + (" + " + "+".join(extras) if extras else "")
+
+
+# Table 3's evaluated configurations C1-C5 (all include CB + MD).
+C1 = ZeROConfig(stage=1)
+C2 = ZeROConfig(stage=1, partition_activations=True)
+C3 = ZeROConfig(stage=2)
+C4 = ZeROConfig(stage=2, partition_activations=True)
+C5 = ZeROConfig(stage=2, partition_activations=True, cpu_offload_activations=True)
+
+PAPER_CONFIGS = {"C1": C1, "C2": C2, "C3": C3, "C4": C4, "C5": C5}
+
+
+def with_stage(config: ZeROConfig, stage: int) -> ZeROConfig:
+    return replace(config, stage=stage)

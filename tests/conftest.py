@@ -1,0 +1,29 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.specs import GPUSpec
+from repro.nn.transformer import GPTConfig
+
+# A small simulated GPU so tests exercise real capacity limits fast.
+TEST_GPU = GPUSpec(name="test-gpu", memory_bytes=2 * 10**9, peak_flops=1e12)
+
+TINY_MODEL = GPTConfig(n_layers=2, hidden=32, n_heads=4, vocab_size=61, max_seq_len=16)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_model_config() -> GPTConfig:
+    return TINY_MODEL
+
+
+@pytest.fixture
+def test_gpu() -> GPUSpec:
+    return TEST_GPU

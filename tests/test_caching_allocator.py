@@ -1,0 +1,133 @@
+"""Caching allocator: reserved/cached semantics, flush-and-retry, peaks."""
+
+import pytest
+
+from repro.memsim.block_allocator import BlockAllocator
+from repro.memsim.caching_allocator import CachingAllocator
+from repro.memsim.errors import InvalidFreeError, OutOfMemoryError
+
+KB = 1024
+MB = 1024 * KB
+
+
+def make(capacity=16 * MB):
+    return CachingAllocator(BlockAllocator(capacity, name="t"))
+
+
+def test_free_keeps_bytes_reserved():
+    c = make()
+    e = c.alloc(1 * MB)
+    assert c.allocated_bytes == 1 * MB
+    assert c.reserved_bytes == 1 * MB
+    c.free(e)
+    assert c.allocated_bytes == 0
+    assert c.reserved_bytes == 1 * MB  # cached, not returned
+    assert c.cached_bytes == 1 * MB
+
+
+def test_cache_hit_reuses_block():
+    c = make()
+    e = c.alloc(1 * MB)
+    c.free(e)
+    c.alloc(1 * MB)
+    assert c.n_cache_hits == 1
+    assert c.reserved_bytes == 1 * MB  # no new device memory
+
+
+def test_empty_cache_releases_to_device():
+    c = make()
+    e = c.alloc(2 * MB)
+    c.free(e)
+    released = c.empty_cache()
+    assert released == 2 * MB
+    assert c.reserved_bytes == 0
+    assert c.backing.allocated_bytes == 0
+
+
+def test_oom_triggers_flush_and_retry():
+    c = make(capacity=4 * MB)
+    e = c.alloc(3 * MB)
+    c.free(e)  # 3MB cached
+    # 3.5MB fits no cached block and no fresh space -> flush cache, retry.
+    c.alloc(3 * MB + 512 * KB)
+    assert c.n_flushes == 1
+    assert c.allocated_bytes == 3 * MB + 512 * KB
+
+
+def test_hard_oom_still_raises():
+    c = make(capacity=2 * MB)
+    c.alloc(2 * MB)
+    with pytest.raises(OutOfMemoryError):
+        c.alloc(1 * MB)
+
+
+def test_max_reserved_tracks_peak():
+    c = make()
+    e1 = c.alloc(4 * MB)
+    c.free(e1)
+    e2 = c.alloc(1 * MB)
+    # Peak reserved was during the 4MB allocation.
+    assert c.max_reserved == 4 * MB
+    assert c.max_allocated == 4 * MB
+    del e2
+
+
+def test_reset_peak_stats():
+    c = make()
+    e = c.alloc(4 * MB)
+    c.free(e)
+    c.empty_cache()
+    c.reset_peak_stats()
+    assert c.max_reserved == 0
+    c.alloc(1 * MB)
+    assert c.max_reserved == 1 * MB
+
+
+def test_large_cached_block_is_split_on_smaller_request():
+    c = make()
+    e = c.alloc(8 * MB)
+    c.free(e)
+    c.alloc(1 * MB)
+    # The 8MB block must not be wasted whole on a 1MB request.
+    assert c.allocated_bytes == 1 * MB
+    assert c.reserved_bytes < 8 * MB + 1 * MB
+
+
+def test_small_poor_fit_prefers_fresh_allocation():
+    c = make()
+    e = c.alloc(100 * KB)  # small block (< split threshold)
+    c.free(e)
+    c.alloc(10 * KB)  # would waste 90% of cached block
+    assert c.allocated_bytes == 10 * KB
+    assert c.cached_bytes >= 100 * KB  # original stays cached
+
+
+def test_double_free_raises():
+    c = make()
+    e = c.alloc(1 * MB)
+    c.free(e)
+    with pytest.raises(InvalidFreeError):
+        c.free(e)
+
+
+def test_stats_snapshot():
+    c = make()
+    e = c.alloc(1 * MB)
+    c.free(e)
+    c.alloc(1 * MB)
+    s = c.stats()
+    assert s.allocated == 1 * MB
+    assert s.n_cache_hits == 1
+    assert s.n_cache_misses == 1
+
+
+def test_interleaved_sizes_accounting_consistent():
+    c = make()
+    extents = [c.alloc((i % 5 + 1) * 100 * KB) for i in range(20)]
+    for e in extents[::2]:
+        c.free(e)
+    assert c.reserved_bytes >= c.allocated_bytes
+    assert c.backing.allocated_bytes == c.reserved_bytes
+    for e in extents[1::2]:
+        c.free(e)
+    assert c.allocated_bytes == 0

@@ -1,0 +1,159 @@
+"""Checkpoint save/load: bitwise resume for every engine, shard layout."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Cluster, GPTConfig, ZeROConfig
+from repro.data import SyntheticCorpus
+from repro.hardware.specs import GPUSpec
+from repro.optim.adam import AdamHyperparams
+from repro.parallel.engine import EngineConfig
+from repro.zero.checkpoint_io import load_checkpoint, save_checkpoint
+from repro.zero.factory import build_model_and_engine
+
+GPU = GPUSpec("t", 2 * 10**9, 1e12)
+CFG = GPTConfig(n_layers=2, hidden=32, n_heads=4, vocab_size=61, max_seq_len=16)
+CORPUS = SyntheticCorpus(61, seed=7)
+WORLD = 2
+
+
+def build(ctx, stage, dtype=np.float32):
+    zero = ZeROConfig(stage=stage, checkpoint_activations=False, memory_defrag=False)
+    return build_model_and_engine(
+        ctx, CFG, zero, dp_group=ctx.world, dtype=dtype, seed=3,
+        engine_config=EngineConfig(adam=AdamHyperparams(lr=1e-3)),
+    )
+
+
+def train(engine, ctx, start, steps):
+    losses = []
+    for step in range(start, start + steps):
+        ids, tgt = CORPUS.sample_batch(2, 16, rank=ctx.rank, step=step)
+        losses.append(engine.train_step(ids, tgt).loss)
+    return losses
+
+
+@pytest.mark.parametrize("stage", [0, 1, 2, 3])
+def test_bitwise_resume(stage, tmp_path):
+    """train(2) -> save -> train(2) must equal fresh-load -> train(2)."""
+    ckpt = tmp_path / "ckpt"
+
+    def straight(ctx):
+        model, engine = build(ctx, stage)
+        train(engine, ctx, 0, 2)
+        save_checkpoint(engine, ckpt)
+        losses = train(engine, ctx, 2, 2)
+        return losses, engine.opt_state.master.data.copy()
+
+    ref = Cluster(WORLD, gpu=GPU, timeout_s=60.0).run(straight)
+
+    def resumed(ctx):
+        model, engine = build(ctx, stage)
+        load_checkpoint(engine, ckpt)
+        assert engine.step_count == 2
+        losses = train(engine, ctx, 2, 2)
+        return losses, engine.opt_state.master.data.copy()
+
+    out = Cluster(WORLD, gpu=GPU, timeout_s=60.0).run(resumed)
+    for rank in range(WORLD):
+        assert out[rank][0] == ref[rank][0]  # losses bitwise
+        np.testing.assert_array_equal(out[rank][1], ref[rank][1])  # state bitwise
+
+
+def test_shard_files_shrink_with_world_size(tmp_path):
+    """Each rank writes ~1/Nd of the optimizer state (the ZeRO property)."""
+
+    def fn(ctx):
+        model, engine = build(ctx, stage=2)
+        train(engine, ctx, 0, 1)
+        return save_checkpoint(engine, tmp_path / "c").stat().st_size
+
+    sizes = Cluster(WORLD, gpu=GPU, timeout_s=60.0).run(fn)
+    full_fp32 = CFG.total_params * 4
+    # 3 fp32 vectors of numel/2 each ~= 6 bytes/param per rank.
+    assert sizes[0] < full_fp32 * 2
+    meta = json.loads((tmp_path / "c" / "meta.json").read_text())
+    assert meta["world_size"] == WORLD and meta["engine"] == "zero2"
+
+
+def test_scaler_state_roundtrips(tmp_path):
+    def fn(ctx):
+        model, engine = build(ctx, stage=1)
+        engine.scaler.scale = 4096.0
+        engine.scaler.good_steps = 7
+        save_checkpoint(engine, tmp_path / "c")
+        model2, engine2 = build(ctx, stage=1)
+        load_checkpoint(engine2, tmp_path / "c")
+        return engine2.scaler.scale, engine2.scaler.good_steps
+
+    assert Cluster(WORLD, gpu=GPU, timeout_s=60.0).run(fn) == [(4096.0, 7)] * WORLD
+
+
+def test_mismatched_world_rejected(tmp_path):
+    def writer(ctx):
+        model, engine = build(ctx, stage=2)
+        save_checkpoint(engine, tmp_path / "c")
+
+    Cluster(2, gpu=GPU, timeout_s=60.0).run(writer)
+
+    def reader(ctx):
+        # Model padded for 1 rank has different flat layout too; the world
+        # check fires first.
+        model, engine = build(ctx, stage=2)
+        with pytest.raises(ValueError, match="world"):
+            load_checkpoint(engine, tmp_path / "c")
+        return True
+
+    assert Cluster(1, gpu=GPU, timeout_s=60.0).run(reader) == [True]
+
+
+def test_mismatched_engine_rejected(tmp_path):
+    def writer(ctx):
+        model, engine = build(ctx, stage=2)
+        save_checkpoint(engine, tmp_path / "c")
+
+    Cluster(WORLD, gpu=GPU, timeout_s=60.0).run(writer)
+
+    def reader(ctx):
+        model, engine = build(ctx, stage=1)
+        with pytest.raises(ValueError, match="engine"):
+            load_checkpoint(engine, tmp_path / "c")
+        return True
+
+    assert Cluster(WORLD, gpu=GPU, timeout_s=60.0).run(reader) == [True] * WORLD
+
+
+def test_meta_engine_rejected(tmp_path):
+    def fn(ctx):
+        zero = ZeROConfig(stage=2, checkpoint_activations=False, memory_defrag=False)
+        model, engine = build_model_and_engine(
+            ctx, CFG, zero, dp_group=ctx.world, meta=True,
+        )
+        with pytest.raises(ValueError, match="meta"):
+            save_checkpoint(engine, tmp_path / "c")
+        return True
+
+    assert Cluster(1, gpu=GPU).run(fn) == [True]
+
+
+def test_fp16_resume(tmp_path):
+    """Resume correctness holds for half-precision training too."""
+    ckpt = tmp_path / "c16"
+
+    def straight(ctx):
+        model, engine = build(ctx, stage=2, dtype=np.float16)
+        train(engine, ctx, 0, 2)
+        save_checkpoint(engine, ckpt)
+        return train(engine, ctx, 2, 2)
+
+    ref = Cluster(WORLD, gpu=GPU, timeout_s=60.0).run(straight)
+
+    def resumed(ctx):
+        model, engine = build(ctx, stage=2, dtype=np.float16)
+        load_checkpoint(engine, ckpt)
+        return train(engine, ctx, 2, 2)
+
+    out = Cluster(WORLD, gpu=GPU, timeout_s=60.0).run(resumed)
+    assert out == ref

@@ -1,0 +1,46 @@
+"""Section 9's compute-gap arithmetic, checked against the paper's prose."""
+
+import pytest
+
+from repro.analysis.compute_gap import (
+    compute_scale_factor,
+    required_sustained_flops,
+    summarize_1t_gap,
+    training_days_same_hardware,
+)
+
+
+def test_3000x_compute_multiple():
+    # "A 1 Trillion Parameter model can easily contain 3000x more computation".
+    assert compute_scale_factor(1e12) == pytest.approx(3030, rel=0.01)
+
+
+def test_140_days_same_tokens():
+    # "training a 1T model would take 140 days" at equal hardware/tokens.
+    assert training_days_same_hardware(1e12) == pytest.approx(140, rel=0.01)
+
+
+def test_over_a_year_with_scaled_data():
+    # "likely to increase ... requiring over a year to train."
+    assert training_days_same_hardware(1e12, data_scale=3.0) > 365
+
+
+def test_exaflop_class_machine_needed():
+    # "It would require an exa-flop system to train a 1T parameter model
+    # in a reasonable time."
+    summary = summarize_1t_gap()
+    assert summary.exaflops_for_two_weeks > 0.4  # within reach only of exa-scale
+    assert summary.days_same_tokens == pytest.approx(140, rel=0.01)
+
+
+def test_required_flops_scales_inverse_with_deadline():
+    f14 = required_sustained_flops(1e12, train_days=14, base_sustained_flops=4e16)
+    f28 = required_sustained_flops(1e12, train_days=28, base_sustained_flops=4e16)
+    assert f14 == pytest.approx(2 * f28)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        compute_scale_factor(-1)
+    with pytest.raises(ValueError):
+        required_sustained_flops(1e12, train_days=0, base_sustained_flops=1e15)

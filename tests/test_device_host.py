@@ -1,0 +1,144 @@
+"""Device, host memory, MD defrag routing, contiguous regions."""
+
+import pytest
+
+from repro.hardware.specs import GPUSpec
+from repro.memsim.device import ContiguousRegion, Device, HostMemory
+from repro.memsim.errors import FragmentationError, InvalidFreeError, OutOfMemoryError
+
+MB = 1024 * 1024
+SPEC = GPUSpec("t", 64 * MB, 1e12)
+
+
+def test_device_accounting_basics():
+    d = Device(SPEC)
+    e = d.alloc(1 * MB)
+    assert d.allocated_bytes == 1 * MB
+    assert d.free_bytes == SPEC.memory_bytes - 1 * MB
+    d.free(e)
+    assert d.allocated_bytes == 0
+    assert d.reserved_bytes == 1 * MB  # cached
+    assert d.max_reserved_bytes == 1 * MB
+
+
+def test_device_without_cache():
+    d = Device(SPEC, use_cache=False)
+    e = d.alloc(1 * MB)
+    d.free(e)
+    assert d.reserved_bytes == 0
+
+
+def test_host_memory_accounting():
+    h = HostMemory(capacity=10 * MB)
+    handle = h.alloc(4 * MB)
+    assert h.allocated_bytes == 4 * MB
+    h.free(handle)
+    assert h.allocated_bytes == 0
+    assert h.max_allocated_bytes == 4 * MB
+
+
+def test_host_oom_and_double_free():
+    h = HostMemory(capacity=1 * MB)
+    with pytest.raises(OutOfMemoryError):
+        h.alloc(2 * MB)
+    handle = h.alloc(MB // 2)
+    h.free(handle)
+    with pytest.raises(InvalidFreeError):
+        h.free(handle)
+
+
+class TestContiguousRegion:
+    def test_bump_alloc_and_reset(self):
+        d = Device(SPEC)
+        r = d.preallocate_region(8 * MB)
+        h1 = r.alloc(3 * MB)
+        r.alloc(3 * MB)
+        assert r.used_bytes == 6 * MB
+        with pytest.raises(OutOfMemoryError):
+            r.alloc(3 * MB)
+        r.free_slot(h1)
+        r.reset()
+        assert r.used_bytes == 0
+        r.alloc(8 * MB)  # full region reusable after reset
+        r.release()
+
+    def test_release_returns_memory(self):
+        d = Device(SPEC)
+        before = d.raw.allocated_bytes
+        r = d.preallocate_region(8 * MB)
+        assert d.raw.allocated_bytes == before + 8 * MB
+        r.release()
+        assert d.raw.allocated_bytes == before
+
+    def test_use_after_release_raises(self):
+        d = Device(SPEC)
+        r = d.preallocate_region(1 * MB)
+        r.release()
+        with pytest.raises(InvalidFreeError):
+            r.alloc(1)
+
+
+class TestMemoryDefrag:
+    """ZeRO-R MD: long-lived tensors routed into a dedicated region."""
+
+    def test_md_routes_matching_tags(self):
+        d = Device(SPEC)
+        d.enable_defrag(8 * MB, lambda tag: tag.endswith(".grad"))
+        e_grad = d.alloc(1 * MB, tag="w.grad")
+        e_act = d.alloc(1 * MB, tag="activation")
+        assert e_grad.pool == "md"
+        assert e_act.pool == "main"
+        d.free(e_grad)
+        d.free(e_act)
+
+    def test_md_overflow_falls_back_to_heap(self):
+        d = Device(SPEC)
+        d.enable_defrag(1 * MB, lambda tag: tag.endswith(".grad"))
+        big = d.alloc(2 * MB, tag="w.grad")  # doesn't fit the region
+        assert big.pool == "main"
+        d.free(big)
+
+    def test_md_prevents_fragmentation_oom(self):
+        """The Section 6.3 scenario: interleaved short/long lifetimes
+        fragment the heap without MD; with MD the same workload fits."""
+
+        def run(with_md: bool) -> bool:
+            d = Device(GPUSpec("t", 32 * MB, 1e12), use_cache=False)
+            if with_md:
+                d.enable_defrag(11 * MB, lambda tag: tag == "ckpt")
+            try:
+                long_lived = []
+                for i in range(10):
+                    # Growing short-lived buffer then a long-lived
+                    # checkpoint: the interleaving strands checkpoints all
+                    # over the heap (Section 6.3's scenario).
+                    act = d.alloc((2 + i) * MB, tag="act")
+                    long_lived.append(d.alloc(1 * MB, tag="ckpt"))
+                    d.free(act)
+                # Now a large contiguous request (e.g. a fused buffer).
+                fused = d.alloc(14 * MB, tag="fused")
+                d.free(fused)
+                for e in long_lived:
+                    d.free(e)
+                return True
+            except FragmentationError:
+                return False
+
+        assert run(with_md=False) is False
+        assert run(with_md=True) is True
+
+    def test_disable_defrag_requires_empty_region(self):
+        d = Device(SPEC)
+        d.enable_defrag(1 * MB, lambda tag: tag == "x")
+        e = d.alloc(1000, tag="x")
+        with pytest.raises(ValueError):
+            d.disable_defrag()
+        d.free(e)
+        d.disable_defrag()
+        assert d.md_region_bytes == 0
+
+    def test_double_enable_rejected(self):
+        d = Device(SPEC)
+        d.enable_defrag(1 * MB, lambda tag: False)
+        with pytest.raises(ValueError):
+            d.enable_defrag(1 * MB, lambda tag: False)

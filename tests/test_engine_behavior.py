@@ -1,0 +1,210 @@
+"""Engine-level behaviours: CB fused buffers, dynamic loss scaling under
+real fp16 overflow, bucket queue mechanics, config plumbing."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, GPTConfig, ZeROConfig
+from repro.data import SyntheticCorpus
+from repro.hardware.specs import GPUSpec
+from repro.optim.adam import AdamHyperparams
+from repro.parallel.ddp import GradBucketQueue
+from repro.parallel.engine import EngineConfig
+from repro.nn.layers import make_param
+from repro.zero.config import C1, C2, C3, C4, C5, PAPER_CONFIGS
+from repro.zero.factory import build_model_and_engine
+
+GPU = GPUSpec("t", 2 * 10**9, 1e12)
+CFG = GPTConfig(n_layers=2, hidden=32, n_heads=4, vocab_size=61, max_seq_len=16)
+CORPUS = SyntheticCorpus(61, seed=7)
+
+
+class TestGradBucketQueue:
+    def _params(self, sizes):
+        return [make_param(f"p{i}", (s,), init="zeros") for i, s in enumerate(sizes)]
+
+    def test_flushes_at_threshold(self):
+        flushed = []
+        q = GradBucketQueue(10, flushed.append)
+        params = self._params([4, 4, 4])
+        q.on_grad_ready(params[0])
+        q.on_grad_ready(params[1])
+        assert flushed == []
+        q.on_grad_ready(params[2])  # 12 >= 10
+        assert len(flushed) == 1 and len(flushed[0]) == 3
+
+    def test_none_threshold_only_flushes_manually(self):
+        flushed = []
+        q = GradBucketQueue(None, flushed.append)
+        for p in self._params([100, 100]):
+            q.on_grad_ready(p)
+        assert flushed == []
+        q.flush()
+        assert len(flushed) == 1 and len(flushed[0]) == 2
+
+    def test_flush_empty_is_noop(self):
+        flushed = []
+        GradBucketQueue(10, flushed.append).flush()
+        assert flushed == []
+
+
+class TestConstantBuffers:
+    def _run(self, fused_numel):
+        cluster = Cluster(2, gpu=GPU, timeout_s=60.0)
+
+        def fn(ctx):
+            zero = ZeROConfig(stage=0, checkpoint_activations=False,
+                              memory_defrag=False, constant_buffers=False)
+            model, engine = build_model_and_engine(
+                ctx, CFG, zero, dp_group=ctx.world, dtype=np.float32, seed=0,
+                engine_config=EngineConfig(fused_buffer_numel=fused_numel),
+            )
+            ids, tgt = CORPUS.sample_batch(2, 16, rank=ctx.rank, step=0)
+            r = engine.train_step(ids, tgt)
+            cb = engine._cb_buffer.nbytes if engine._cb_buffer is not None else None
+            return r.loss, cb
+
+        return cluster.run(fn)
+
+    def test_cb_buffer_size_is_constant_config(self):
+        results = self._run(4096)
+        assert results[0][1] == 4096 * 4  # fp32 elements
+
+    def test_no_cb_means_transient_full_buffer(self):
+        results = self._run(None)
+        assert results[0][1] is None
+
+    def test_cb_chunking_changes_nothing_numerically(self):
+        with_cb = self._run(128)  # many tiny chunks through the buffer
+        without = self._run(None)
+        assert with_cb[0][0] == without[0][0]
+
+    def test_factory_wires_cb_from_zero_config(self):
+        cluster = Cluster(2, gpu=GPU, timeout_s=60.0)
+
+        def fn(ctx):
+            zero = ZeROConfig(stage=1, constant_buffers=True,
+                              constant_buffer_numel=2048, memory_defrag=False,
+                              checkpoint_activations=False)
+            model, engine = build_model_and_engine(
+                ctx, CFG, zero, dp_group=ctx.world, dtype=np.float32, seed=0,
+            )
+            return engine._cb_buffer.size
+
+        assert cluster.run(fn) == [2048, 2048]
+
+
+class TestDynamicLossScaling:
+    # inf/NaN propagating through fp16 math is the *point* of this test.
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_overflow_skips_in_lockstep_and_recovers(self):
+        """Force an fp16 overflow via a huge loss scale: all ranks must skip
+        the same step, halve the scale, and keep training consistently."""
+        cluster = Cluster(2, gpu=GPU, timeout_s=60.0)
+
+        def fn(ctx):
+            zero = ZeROConfig(stage=2, checkpoint_activations=False, memory_defrag=False)
+            model, engine = build_model_and_engine(
+                ctx, CFG, zero, dp_group=ctx.world, dtype=np.float16, seed=0,
+                engine_config=EngineConfig(
+                    adam=AdamHyperparams(lr=1e-3),
+                    loss_scale=2.0**22,  # guarantees initial fp16 gradient overflow
+                    dynamic_loss_scale=True,
+                ),
+            )
+            applied = []
+            scales = []
+            for step in range(8):
+                ids, tgt = CORPUS.sample_batch(2, 16, rank=ctx.rank, step=step)
+                applied.append(engine.train_step(ids, tgt).applied)
+                scales.append(engine.scaler.scale)
+            return applied, scales
+
+        results = cluster.run(fn)
+        applied0, scales0 = results[0]
+        assert applied0[0] is False  # first step skipped on overflow
+        assert True in applied0  # scale backs off until steps apply
+        assert scales0[-1] < 2.0**22
+        assert results[1] == results[0]  # lockstep across ranks
+
+    def test_static_scale_preserved(self):
+        cluster = Cluster(2, gpu=GPU, timeout_s=60.0)
+
+        def fn(ctx):
+            zero = ZeROConfig(stage=0, checkpoint_activations=False, memory_defrag=False)
+            model, engine = build_model_and_engine(
+                ctx, CFG, zero, dp_group=ctx.world, dtype=np.float16, seed=0,
+                engine_config=EngineConfig(loss_scale=128.0),
+            )
+            ids, tgt = CORPUS.sample_batch(2, 16, rank=ctx.rank, step=0)
+            engine.train_step(ids, tgt)
+            return engine.scaler.scale
+
+        assert cluster.run(fn) == [128.0, 128.0]
+
+
+class TestZeROConfig:
+    def test_paper_presets(self):
+        assert C1.stage == 1 and not C1.partition_activations
+        assert C2.stage == 1 and C2.partition_activations
+        assert C3.stage == 2 and not C3.partition_activations
+        assert C4.stage == 2 and C4.partition_activations
+        assert C5.cpu_offload_activations
+        assert list(PAPER_CONFIGS) == ["C1", "C2", "C3", "C4", "C5"]
+
+    def test_labels(self):
+        assert "Pos+g" in C4.label and "Pa" in C4.label
+        assert "Pa+cpu" in C5.label
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZeROConfig(stage=7)
+        with pytest.raises(ValueError):
+            ZeROConfig(stage=2, cpu_offload_activations=True)  # Pa+cpu needs Pa
+
+    def test_factory_rejects_pa_without_mp_group(self):
+        cluster = Cluster(1, gpu=GPU)
+
+        def fn(ctx):
+            with pytest.raises(ValueError, match="MP group"):
+                build_model_and_engine(
+                    ctx, CFG, ZeROConfig(stage=2, partition_activations=True),
+                    dp_group=ctx.world,
+                )
+            return True
+
+        assert cluster.run(fn) == [True]
+
+
+class TestEngineInputs:
+    def test_numpy_inputs_freed_after_step(self):
+        cluster = Cluster(2, gpu=GPU, timeout_s=60.0)
+
+        def fn(ctx):
+            zero = ZeROConfig(stage=2, checkpoint_activations=False, memory_defrag=False)
+            model, engine = build_model_and_engine(
+                ctx, CFG, zero, dp_group=ctx.world, dtype=np.float32, seed=0,
+            )
+            ids, tgt = CORPUS.sample_batch(2, 16, rank=ctx.rank, step=0)
+            before = ctx.device.allocated_bytes
+            engine.train_step(ids, tgt)
+            engine.train_step(ids, tgt)
+            after = ctx.device.allocated_bytes
+            return after - before
+
+        # Steady state: no growth between identical steps.
+        assert cluster.run(fn) == [0, 0]
+
+    def test_model_without_params_rejected(self):
+        from repro.nn.module import Module
+        from repro.parallel.ddp import DDPEngine
+
+        cluster = Cluster(1, gpu=GPU)
+
+        def fn(ctx):
+            empty = Module("empty")
+            with pytest.raises(ValueError, match="no parameters"):
+                DDPEngine(ctx, empty, ctx.world)
+            return True
+
+        assert cluster.run(fn) == [True]

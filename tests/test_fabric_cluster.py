@@ -1,0 +1,110 @@
+"""Thread-SPMD fabric and cluster launcher: rendezvous, aborts, p2p."""
+
+import numpy as np
+import pytest
+
+from repro.comm.fabric import CollectiveMismatchError, Fabric, FabricAbortedError
+from repro.hardware.specs import GPUSpec
+from repro.runtime import Cluster
+
+GPU = GPUSpec("t", 10**8, 1e12)
+
+
+def make_cluster(n=4, timeout_s=5.0):
+    return Cluster(n, gpu=GPU, timeout_s=timeout_s)
+
+
+def test_run_returns_per_rank_results():
+    cluster = make_cluster(4)
+    results = cluster.run(lambda ctx: ctx.rank * 10)
+    assert results == [0, 10, 20, 30]
+
+
+def test_rank_contexts_are_distinct():
+    cluster = make_cluster(3)
+    ids = cluster.run(lambda ctx: id(ctx.device))
+    assert len(set(ids)) == 3
+
+
+def test_exception_propagates_and_releases_peers():
+    cluster = make_cluster(4, timeout_s=3.0)
+
+    def fn(ctx):
+        if ctx.rank == 2:
+            raise RuntimeError("boom on rank 2")
+        # Peers block in a collective; the abort must release them.
+        ctx.world.all_reduce(ctx.rank, np.ones(4, np.float32))
+
+    with pytest.raises(RuntimeError, match="boom on rank 2"):
+        cluster.run(fn)
+
+
+def test_collective_order_mismatch_detected():
+    cluster = make_cluster(2, timeout_s=5.0)
+
+    def fn(ctx):
+        if ctx.rank == 0:
+            ctx.world.all_reduce(ctx.rank, np.ones(4, np.float32))
+        else:
+            ctx.world.broadcast(ctx.rank, np.ones(4, np.float32), src=1)
+
+    with pytest.raises((CollectiveMismatchError, FabricAbortedError)):
+        cluster.run(fn)
+
+
+def test_barrier_synchronizes_all_ranks():
+    cluster = make_cluster(4)
+
+    def fn(ctx):
+        ctx.barrier()
+        return True
+
+    assert cluster.run(fn) == [True] * 4
+
+
+def test_point_to_point_send_recv():
+    cluster = make_cluster(2)
+
+    def fn(ctx):
+        if ctx.rank == 0:
+            ctx.world.send(0, dst=1, array=np.arange(5, dtype=np.float32), tag=7)
+            return None
+        return ctx.world.recv(1, src=0, tag=7)
+
+    results = cluster.run(fn)
+    np.testing.assert_array_equal(results[1], np.arange(5, dtype=np.float32))
+
+
+def test_p2p_messages_ordered_per_tag():
+    cluster = make_cluster(2)
+
+    def fn(ctx):
+        if ctx.rank == 0:
+            for i in range(3):
+                ctx.world.send(0, dst=1, array=np.array([i], np.int64), tag=0)
+            return None
+        return [int(ctx.world.recv(1, src=0, tag=0)[0]) for _ in range(3)]
+
+    assert cluster.run(fn)[1] == [0, 1, 2]
+
+
+def test_recv_timeout_raises():
+    fabric = Fabric(2, timeout_s=0.1)
+    with pytest.raises(FabricAbortedError, match="timed out"):
+        fabric.recv(src=0, dst=1, tag=0)
+
+
+def test_subgroups_share_state_across_ranks():
+    cluster = make_cluster(4)
+
+    def fn(ctx):
+        group = ctx.group([0, 2] if ctx.rank in (0, 2) else [1, 3])
+        return group.all_reduce(ctx.rank, np.array([ctx.rank], np.float32))[0]
+
+    results = cluster.run(fn)
+    assert results == [2.0, 4.0, 2.0, 4.0]  # 0+2 and 1+3
+
+
+def test_world_size_validation():
+    with pytest.raises(ValueError):
+        Fabric(0)

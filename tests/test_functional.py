@@ -1,0 +1,303 @@
+"""Primitive ops: forward values, backward gradchecks, meta propagation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+def t64(a):
+    return Tensor.from_numpy(np.asarray(a, dtype=np.float64))
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f wrt numpy array x."""
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        xp, xm = x.copy(), x.copy()
+        xp[i] += eps
+        xm[i] -= eps
+        g[i] = (f(xp) - f(xm)) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestShapeOps:
+    def test_reshape_values_and_view(self):
+        x = t64(np.arange(12).reshape(3, 4))
+        y = F.reshape(x, (2, 6))
+        np.testing.assert_array_equal(y.numpy().reshape(-1), np.arange(12))
+        assert y.extent is None  # view: no allocation
+
+    def test_reshape_infer_dim(self):
+        x = t64(np.arange(12))
+        assert F.reshape(x, (3, -1)).shape == (3, 4)
+
+    def test_reshape_bad_size(self):
+        with pytest.raises(ValueError):
+            F.reshape(t64(np.arange(12)), (5, 3))
+
+    def test_transpose(self):
+        x = t64(np.arange(6).reshape(2, 3))
+        y = F.transpose(x, (1, 0))
+        np.testing.assert_array_equal(y.numpy(), x.numpy().T)
+
+    def test_index_and_stack_axis0_roundtrip(self):
+        x = t64(np.arange(24).reshape(3, 2, 4))
+        parts = [F.index_axis0(x, i) for i in range(3)]
+        back = F.stack_axis0(parts)
+        np.testing.assert_array_equal(back.numpy(), x.numpy())
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            F.index_axis0(t64(np.zeros((2, 2))), 2)
+
+    def test_slice_last(self):
+        x = t64(np.arange(10).reshape(2, 5))
+        y = F.slice_last(x, 1, 4)
+        np.testing.assert_array_equal(y.numpy(), x.numpy()[:, 1:4])
+        with pytest.raises(IndexError):
+            F.slice_last(x, 3, 6)
+
+    def test_cast(self):
+        x = t64([1.5, 2.5])
+        y = F.cast(x, np.float16)
+        assert y.dtype == np.float16
+
+
+class TestMatmul:
+    def test_values(self):
+        a, b = t64(np.ones((2, 3))), t64(np.full((3, 4), 2.0))
+        np.testing.assert_array_equal(F.matmul(a, b).numpy(), np.full((2, 4), 6.0))
+
+    def test_batched_broadcast(self):
+        a = t64(np.random.default_rng(0).standard_normal((5, 2, 3)))
+        b = t64(np.random.default_rng(1).standard_normal((3, 4)))
+        y = F.matmul(a, b)
+        assert y.shape == (5, 2, 4)
+        np.testing.assert_allclose(y.numpy(), a.numpy() @ b.numpy())
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            F.matmul(t64(np.zeros((2, 3))), t64(np.zeros((4, 5))))
+
+    def test_fp16_accumulates_in_fp32(self):
+        # 2048 x (1/2048) in fp16: naive fp16 accumulation loses most of it.
+        n = 2048
+        a = Tensor.from_numpy(np.full((1, n), 1.0, np.float16))
+        b = Tensor.from_numpy(np.full((n, 1), 1.0 / n, np.float16))
+        y = F.matmul(a, b)
+        assert y.dtype == np.float16
+        assert float(y.numpy()[0, 0]) == pytest.approx(1.0, rel=1e-3)
+
+
+class TestElementwise:
+    def test_add_broadcast(self):
+        y = F.add(t64(np.ones((2, 3))), t64(np.arange(3.0)))
+        assert y.shape == (2, 3)
+        np.testing.assert_array_equal(y.numpy(), np.tile(1 + np.arange(3.0), (2, 1)))
+
+    def test_mul(self):
+        y = F.mul(t64([2.0, 3.0]), t64([4.0, 5.0]))
+        np.testing.assert_array_equal(y.numpy(), [8.0, 15.0])
+
+    def test_scale(self):
+        y = F.scale(t64([2.0, -4.0]), 0.5)
+        np.testing.assert_array_equal(y.numpy(), [1.0, -2.0])
+
+    def test_sum_to_leading_and_broadcast_dims(self):
+        x = t64(np.ones((4, 3, 5)))
+        np.testing.assert_array_equal(F.sum_to(x, (5,)).numpy(), np.full(5, 12.0))
+        np.testing.assert_array_equal(
+            F.sum_to(x, (1, 3, 5)).numpy(), np.full((1, 3, 5), 4.0)
+        )
+
+    def test_sum_to_incompatible(self):
+        with pytest.raises(ValueError):
+            F.sum_to(t64(np.ones((4, 3))), (2,))
+
+
+class TestActivationGradchecks:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_gelu_grad(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((3, 4))
+        r = rng.standard_normal((3, 4))
+        dy = F.gelu_grad(t64(x), t64(r))
+        num = numerical_grad(lambda xv: float((F.gelu(t64(xv)).numpy() * r).sum()), x)
+        np.testing.assert_allclose(dy.numpy(), num, atol=1e-7)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_softmax_grad(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((2, 5))
+        r = rng.standard_normal((2, 5))
+        y = F.softmax(t64(x))
+        dx = F.softmax_grad(y, t64(r))
+        num = numerical_grad(lambda xv: float((F.softmax(t64(xv)).numpy() * r).sum()), x)
+        np.testing.assert_allclose(dx.numpy(), num, atol=1e-7)
+
+    def test_softmax_rows_sum_to_one(self):
+        y = F.softmax(t64(np.random.default_rng(0).standard_normal((4, 7)) * 10))
+        np.testing.assert_allclose(y.numpy().sum(axis=-1), 1.0, rtol=1e-12)
+
+    def test_softmax_stable_for_large_inputs(self):
+        y = F.softmax(Tensor.from_numpy(np.array([[1e4, 1e4 - 1]], np.float32)))
+        assert np.all(np.isfinite(y.numpy()))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_layernorm_grads(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((3, 8))
+        gamma = rng.standard_normal(8)
+        beta = rng.standard_normal(8)
+        r = rng.standard_normal((3, 8))
+
+        def loss(xv, gv=gamma, bv=beta):
+            y, _, _ = F.layernorm(t64(xv), t64(gv), t64(bv))
+            return float((y.numpy() * r).sum())
+
+        y, mean, rstd = F.layernorm(t64(x), t64(gamma), t64(beta))
+        dx, dgamma, dbeta = F.layernorm_grad(t64(x), t64(gamma), mean, rstd, t64(r))
+        np.testing.assert_allclose(dx.numpy(), numerical_grad(lambda v: loss(v), x), atol=1e-6)
+        np.testing.assert_allclose(
+            dgamma.numpy(), numerical_grad(lambda g: loss(x, gv=g), gamma), atol=1e-6
+        )
+        np.testing.assert_allclose(
+            dbeta.numpy(), numerical_grad(lambda b: loss(x, bv=b), beta), atol=1e-6
+        )
+
+    def test_layernorm_normalizes(self):
+        x = t64(np.random.default_rng(0).standard_normal((5, 16)) * 3 + 7)
+        y, _, _ = F.layernorm(x, t64(np.ones(16)), t64(np.zeros(16)))
+        np.testing.assert_allclose(y.numpy().mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(y.numpy().std(axis=-1), 1.0, atol=1e-4)
+
+
+class TestMask:
+    def test_causal_mask_fills_future(self):
+        x = t64(np.zeros((2, 3, 3)))
+        y = F.causal_mask_fill(x, value=-99.0)
+        upper = np.triu(np.ones((3, 3), bool), k=1)
+        assert np.all(y.numpy()[..., upper] == -99.0)
+        assert np.all(y.numpy()[..., ~upper] == 0.0)
+
+    def test_causal_mask_zero_grad(self):
+        g = t64(np.ones((3, 3)))
+        z = F.causal_mask_zero_grad(g)
+        assert z.numpy().sum() == 6.0  # lower triangle incl. diagonal
+
+    def test_mask_requires_square(self):
+        with pytest.raises(ValueError):
+            F.causal_mask_fill(t64(np.zeros((2, 3))))
+
+
+class TestEmbeddingAndXent:
+    def test_embedding_lookup_and_grad(self):
+        table = t64(np.arange(12.0).reshape(4, 3))
+        ids = Tensor.from_numpy(np.array([[0, 2], [2, 3]], np.int64))
+        y = F.embedding_lookup(table, ids)
+        np.testing.assert_array_equal(y.numpy()[0, 1], [6, 7, 8])
+        dy = t64(np.ones((2, 2, 3)))
+        g = F.embedding_grad(table, ids, dy)
+        # Row 2 appears twice -> grad 2 per element.
+        np.testing.assert_array_equal(g.numpy()[2], [2, 2, 2])
+        np.testing.assert_array_equal(g.numpy()[1], [0, 0, 0])
+
+    def test_cross_entropy_matches_manual(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((5, 7)).astype(np.float32)
+        targets = rng.integers(0, 7, 5)
+        loss, probs = F.cross_entropy(
+            Tensor.from_numpy(logits), Tensor.from_numpy(targets)
+        )
+        ref = -np.log(
+            np.exp(logits - logits.max(-1, keepdims=True))
+            / np.exp(logits - logits.max(-1, keepdims=True)).sum(-1, keepdims=True)
+        )[np.arange(5), targets].mean()
+        assert float(loss.numpy()) == pytest.approx(float(ref), rel=1e-5)
+
+    def test_cross_entropy_grad(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((4, 6))
+        targets = rng.integers(0, 6, 4)
+
+        def loss_of(lv):
+            loss, _ = F.cross_entropy(t64(lv), Tensor.from_numpy(targets))
+            return float(loss.numpy())
+
+        _, probs = F.cross_entropy(t64(logits), Tensor.from_numpy(targets))
+        grad = F.cross_entropy_grad(probs, Tensor.from_numpy(targets), dtype=np.float64)
+        np.testing.assert_allclose(grad.numpy(), numerical_grad(loss_of, logits), atol=1e-6)
+
+    def test_uniform_logits_give_log_vocab(self):
+        loss, _ = F.cross_entropy(
+            Tensor.from_numpy(np.zeros((3, 10), np.float32)),
+            Tensor.from_numpy(np.array([0, 5, 9], np.int64)),
+        )
+        assert float(loss.numpy()) == pytest.approx(np.log(10), rel=1e-6)
+
+
+class TestDropout:
+    def test_p_zero_is_identity(self):
+        x = t64(np.arange(4.0))
+        y, mask = F.dropout(x, 0.0, None)
+        assert mask is None
+        np.testing.assert_array_equal(y.numpy(), x.numpy())
+
+    def test_inverted_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor.from_numpy(np.ones((100, 100), np.float32))
+        y, mask = F.dropout(x, 0.5, rng)
+        assert abs(float(y.numpy().mean()) - 1.0) < 0.05
+
+    def test_grad_uses_same_mask(self):
+        rng = np.random.default_rng(0)
+        x = Tensor.from_numpy(np.ones((10, 10), np.float32))
+        y, mask = F.dropout(x, 0.3, rng)
+        dy = F.dropout_grad(Tensor.from_numpy(np.ones((10, 10), np.float32)), mask)
+        np.testing.assert_array_equal(dy.numpy(), y.numpy())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            F.dropout(t64([1.0]), 1.0, None)
+        with pytest.raises(ValueError):
+            F.dropout(t64([1.0]), 0.5, None)  # real mode needs rng
+
+
+class TestMetaPropagation:
+    """Every primitive must propagate meta-ness with correct shapes."""
+
+    def test_meta_chain(self):
+        x = Tensor.meta((2, 3, 8), np.float16)
+        w = Tensor.meta((16, 8), np.float16)
+        wt = F.transpose(w, (1, 0))
+        y = F.matmul(x, wt)
+        assert y.is_meta and y.shape == (2, 3, 16)
+        g = F.gelu(y)
+        assert g.is_meta and g.dtype == np.float16
+        s = F.softmax(g)
+        assert s.is_meta
+        summed = F.sum_to(s, (16,))
+        assert summed.is_meta and summed.shape == (16,)
+
+    def test_meta_layernorm_and_xent(self):
+        x = Tensor.meta((4, 8), np.float16)
+        y, mean, rstd = F.layernorm(x, Tensor.meta((8,), np.float16), Tensor.meta((8,), np.float16))
+        assert y.is_meta and mean.shape == (4, 1)
+        loss, probs = F.cross_entropy(Tensor.meta((4, 10), np.float16), Tensor.meta((4,), np.int64))
+        assert loss.is_meta and probs.shape == (4, 10)
+
+    def test_meta_mixed_with_real_is_meta(self):
+        a = Tensor.meta((2, 2), np.float32)
+        b = Tensor.from_numpy(np.ones((2, 2), np.float32))
+        assert F.add(a, b).is_meta
+        assert F.matmul(b, a).is_meta

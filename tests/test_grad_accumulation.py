@@ -1,0 +1,135 @@
+"""Gradient accumulation: micro-batching must match the equivalent big batch,
+across every engine, with the stage-appropriate reduction schedule."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, GPTConfig, ZeROConfig
+from repro.data import SyntheticCorpus
+from repro.hardware.specs import GPUSpec
+from repro.optim.adam import AdamHyperparams
+from repro.parallel.engine import EngineConfig
+from repro.zero.factory import build_model_and_engine
+
+GPU = GPUSpec("t", 2 * 10**9, 1e12)
+CFG = GPTConfig(n_layers=2, hidden=32, n_heads=4, vocab_size=61, max_seq_len=16)
+CORPUS = SyntheticCorpus(61, seed=7)
+WORLD = 2
+
+
+def run(stage, accum, micro_batch, optimizer_steps=2):
+    cluster = Cluster(WORLD, gpu=GPU, timeout_s=60.0)
+
+    def fn(ctx):
+        zero = ZeROConfig(stage=stage, checkpoint_activations=False, memory_defrag=False)
+        model, engine = build_model_and_engine(
+            ctx, CFG, zero, dp_group=ctx.world, dtype=np.float32, seed=3,
+            engine_config=EngineConfig(
+                adam=AdamHyperparams(lr=1e-3),
+                bucket_numel=2000,
+                gradient_accumulation_steps=accum,
+            ),
+        )
+        boundaries = []
+        micro = 0
+        for _ in range(optimizer_steps):
+            for k in range(accum):
+                # Micro-batches are slices of the big batch so accum x micro
+                # sees exactly the same samples as one big step.
+                ids, tgt = CORPUS.sample_batch(
+                    micro_batch * accum, 16, rank=ctx.rank, step=len(boundaries)
+                )
+                lo, hi = k * micro_batch, (k + 1) * micro_batch
+                r = engine.train_step(ids[lo:hi], tgt[lo:hi])
+                micro += 1
+                if r.is_boundary:
+                    boundaries.append(micro)
+        master = engine.opt_state.master.data.copy()
+        return boundaries, master, engine.step_count
+
+    return cluster.run(fn)
+
+
+@pytest.mark.parametrize("stage", [0, 1, 2, 3])
+def test_accumulation_matches_big_batch(stage):
+    """accum=2 over half-batches == one step over the full batch.
+
+    Token-mean losses differ per micro-batch, so gradients match up to a
+    constant factor handled by the divisor; the updates must agree to
+    fp32 summation-order tolerance.
+    """
+    accum = run(stage, accum=2, micro_batch=2)
+    big = run(stage, accum=1, micro_batch=4)
+    for rank in range(WORLD):
+        np.testing.assert_allclose(accum[rank][1], big[rank][1], rtol=2e-5, atol=2e-6)
+
+
+@pytest.mark.parametrize("stage", [0, 1, 2, 3])
+def test_boundary_schedule(stage):
+    boundaries, _, steps = run(stage, accum=3, micro_batch=1, optimizer_steps=2)[0]
+    assert boundaries == [3, 6]
+    assert steps == 2
+
+
+def test_stages_agree_under_accumulation():
+    """ZeRO == DDP still holds with accumulation (summation-order tolerance)."""
+    ddp = run(0, accum=2, micro_batch=2)
+    for stage in (1, 2, 3):
+        z = run(stage, accum=2, micro_batch=2)
+        full = ddp[0][1]
+        part = len(full) // WORLD
+        for rank in range(WORLD):
+            np.testing.assert_allclose(
+                z[rank][1], full[rank * part : (rank + 1) * part], rtol=2e-5, atol=2e-6
+            )
+
+
+def test_stage2_gradient_memory_stays_sharded_during_accumulation():
+    """Stage 2 must not keep full gradients across micro-batches."""
+    cluster = Cluster(WORLD, gpu=GPU, timeout_s=60.0)
+
+    def fn(ctx):
+        zero = ZeROConfig(stage=2, checkpoint_activations=False, memory_defrag=False)
+        model, engine = build_model_and_engine(
+            ctx, CFG, zero, dp_group=ctx.world, dtype=np.float32, seed=3,
+            engine_config=EngineConfig(gradient_accumulation_steps=3, bucket_numel=1000),
+        )
+        ids, tgt = CORPUS.sample_batch(2, 16, rank=ctx.rank, step=0)
+        engine.train_step(ids, tgt)  # non-boundary micro-step
+        live = sum(p.grad.size for p in engine.layout.parameters if p.grad is not None)
+        return live
+
+    assert cluster.run(fn) == [0, 0]  # reduced and freed every micro-step
+
+
+def test_stage1_keeps_gradients_across_micro_steps():
+    cluster = Cluster(WORLD, gpu=GPU, timeout_s=60.0)
+
+    def fn(ctx):
+        zero = ZeROConfig(stage=1, checkpoint_activations=False, memory_defrag=False)
+        model, engine = build_model_and_engine(
+            ctx, CFG, zero, dp_group=ctx.world, dtype=np.float32, seed=3,
+            engine_config=EngineConfig(gradient_accumulation_steps=3),
+        )
+        ids, tgt = CORPUS.sample_batch(2, 16, rank=ctx.rank, step=0)
+        engine.train_step(ids, tgt)
+        ctx.ledger.clear()
+        engine.train_step(ids, tgt)  # still non-boundary
+        return ctx.ledger.nominal_bytes()  # no reduction traffic yet
+
+    assert cluster.run(fn) == [0.0, 0.0]
+
+
+def test_invalid_accumulation_rejected():
+    cluster = Cluster(1, gpu=GPU)
+
+    def fn(ctx):
+        with pytest.raises(ValueError, match="accumulation"):
+            build_model_and_engine(
+                ctx, CFG, ZeROConfig(stage=0, memory_defrag=False),
+                dp_group=ctx.world, dtype=np.float32, seed=0,
+                engine_config=EngineConfig(gradient_accumulation_steps=0),
+            )
+        return True
+
+    assert cluster.run(fn) == [True]

@@ -1,0 +1,187 @@
+"""Megatron tensor MP: parallel layers == serial numerics, comm pattern."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, GPTConfig
+from repro.hardware.specs import GPUSpec
+from repro.nn.layers import Linear
+from repro.nn.loss import CausalLMLoss
+from repro.nn.module import ExecutionContext
+from repro.nn.transformer import GPT2Model
+from repro.parallel.megatron import (
+    ColumnParallelLinear,
+    ParallelGPT2Model,
+    RowParallelLinear,
+)
+from repro.tensor.tensor import Tensor
+
+GPU = GPUSpec("t", 2 * 10**9, 1e12)
+CFG = GPTConfig(n_layers=2, hidden=32, n_heads=4, vocab_size=64, max_seq_len=16)
+CTX = ExecutionContext()
+
+
+def run_world(n, fn):
+    return Cluster(n, gpu=GPU, timeout_s=60.0).run(fn)
+
+
+def serial_reference(ids, tgt, dtype=np.float64):
+    rng = np.random.default_rng(3)
+    model = GPT2Model(CFG, dtype=dtype, rng=rng)
+    loss_head = CausalLMLoss()
+    logits, cache = model.forward(Tensor.from_numpy(ids), CTX)
+    loss, lcache = loss_head.forward(logits, Tensor.from_numpy(tgt))
+    d = loss_head.backward(lcache)
+    model.backward(cache, d)
+    return model, float(loss.numpy()), logits.numpy().copy()
+
+
+class TestParallelLinears:
+    def test_column_parallel_concat_equals_serial(self):
+        x = np.random.default_rng(0).standard_normal((3, 8))
+
+        def fn(ctx):
+            rng = np.random.default_rng(5)
+            col = ColumnParallelLinear("c", 8, 6, ctx.world, ctx.rank,
+                                       dtype=np.float64, rng=rng)
+            y, _ = col.forward(Tensor.from_numpy(x), CTX)
+            return y.numpy()
+
+        rng = np.random.default_rng(5)
+        serial = Linear("c", 8, 6, dtype=np.float64, rng=rng)
+        y_ref, _ = serial.forward(Tensor.from_numpy(x), CTX)
+        parts = run_world(2, fn)
+        np.testing.assert_allclose(np.concatenate(parts, axis=-1), y_ref.numpy(), rtol=1e-12)
+
+    def test_row_parallel_sums_to_serial(self):
+        x = np.random.default_rng(0).standard_normal((3, 8))
+
+        def fn(ctx):
+            rng = np.random.default_rng(5)
+            row = RowParallelLinear("r", 8, 6, ctx.world, ctx.rank,
+                                    dtype=np.float64, rng=rng)
+            idx = ctx.world.group_index(ctx.rank)
+            x_local = x[:, idx * 4 : (idx + 1) * 4]
+            y, _ = row.forward(Tensor.from_numpy(x_local), CTX)
+            return y.numpy()
+
+        rng = np.random.default_rng(5)
+        serial = Linear("r", 8, 6, dtype=np.float64, rng=rng)
+        y_ref, _ = serial.forward(Tensor.from_numpy(x), CTX)
+        for y in run_world(2, fn):
+            np.testing.assert_allclose(y, y_ref.numpy(), rtol=1e-10)
+
+    def test_divisibility_validated(self):
+        def fn(ctx):
+            rng = np.random.default_rng(0)
+            with pytest.raises(ValueError):
+                ColumnParallelLinear("c", 8, 7, ctx.world, ctx.rank,
+                                     dtype=np.float32, rng=rng)
+            with pytest.raises(ValueError):
+                RowParallelLinear("r", 7, 8, ctx.world, ctx.rank,
+                                  dtype=np.float32, rng=rng)
+            return True
+
+        assert all(run_world(2, fn))
+
+
+class TestParallelModel:
+    @pytest.mark.parametrize("mp", [2, 4])
+    def test_loss_and_grads_match_serial(self, mp):
+        ids = np.random.default_rng(0).integers(0, 64, (2, 8))
+        tgt = np.random.default_rng(1).integers(0, 64, (2, 8))
+        serial_model, serial_loss, _ = serial_reference(ids, tgt)
+        serial_grads = {p.name: p.grad.numpy().copy() for p in serial_model.parameters()}
+
+        def fn(ctx):
+            rng = np.random.default_rng(3)
+            model = ParallelGPT2Model(CFG, ctx.world, ctx.rank, dtype=np.float64, rng=rng)
+            loss_head = model.make_loss_head()
+            logits, cache = model.forward(Tensor.from_numpy(ids), CTX)
+            loss, lcache = loss_head.forward(logits, Tensor.from_numpy(tgt))
+            d = loss_head.backward(lcache)
+            model.backward(cache, d)
+            ln_grad = {p.name: p.grad.numpy().copy() for p in model.parameters()
+                       if ".ln1." in p.name or ".ln_f." in p.name or ".emb." in p.name}
+            return float(loss.numpy()), ln_grad
+
+        for loss, ln_grads in run_world(mp, fn):
+            assert loss == pytest.approx(serial_loss, rel=1e-9)
+            for name, g in ln_grads.items():
+                np.testing.assert_allclose(g, serial_grads[name], rtol=1e-7, atol=1e-10)
+
+    def test_sharded_weight_grads_match_serial_slices(self):
+        ids = np.random.default_rng(0).integers(0, 64, (2, 8))
+        tgt = np.random.default_rng(1).integers(0, 64, (2, 8))
+        serial_model, _, _ = serial_reference(ids, tgt)
+        serial_grads = {p.name: p.grad.numpy().copy() for p in serial_model.parameters()}
+
+        def fn(ctx):
+            rng = np.random.default_rng(3)
+            model = ParallelGPT2Model(CFG, ctx.world, ctx.rank, dtype=np.float64, rng=rng)
+            loss_head = model.make_loss_head()
+            logits, cache = model.forward(Tensor.from_numpy(ids), CTX)
+            loss, lcache = loss_head.forward(logits, Tensor.from_numpy(tgt))
+            model.backward(cache, loss_head.backward(lcache))
+            return {p.name: p.grad.numpy().copy() for p in model.parameters()}
+
+        grads0, grads1 = run_world(2, fn)
+        # fc1 column-parallel: rank 0 holds the first half of output rows.
+        full = serial_grads["gpt2.h0.mlp.fc1.weight"]
+        np.testing.assert_allclose(grads0["gpt2.h0.mlp.fc1.weight"], full[:64], atol=1e-9)
+        np.testing.assert_allclose(grads1["gpt2.h0.mlp.fc1.weight"], full[64:], atol=1e-9)
+        # fc2 row-parallel: rank 0 holds the first half of input columns.
+        full2 = serial_grads["gpt2.h0.mlp.fc2.weight"]
+        np.testing.assert_allclose(grads0["gpt2.h0.mlp.fc2.weight"], full2[:, :64], atol=1e-9)
+
+    def test_attention_head_split_matches_serial(self):
+        ids = np.random.default_rng(0).integers(0, 64, (2, 8))
+        tgt = np.random.default_rng(1).integers(0, 64, (2, 8))
+        serial_model, _, _ = serial_reference(ids, tgt)
+        serial_grads = {p.name: p.grad.numpy().copy() for p in serial_model.parameters()}
+
+        def fn(ctx):
+            rng = np.random.default_rng(3)
+            model = ParallelGPT2Model(CFG, ctx.world, ctx.rank, dtype=np.float64, rng=rng)
+            loss_head = model.make_loss_head()
+            logits, cache = model.forward(Tensor.from_numpy(ids), CTX)
+            loss, lcache = loss_head.forward(logits, Tensor.from_numpy(tgt))
+            model.backward(cache, loss_head.backward(lcache))
+            return {p.name: p.grad.numpy().copy() for p in model.parameters()}
+
+        grads0, _ = run_world(2, fn)
+        h, nh, hd = 32, 4, 8
+        rows = np.concatenate(
+            [[c * h + head * hd + i for head in (0, 1) for i in range(hd)] for c in range(3)]
+        )
+        np.testing.assert_allclose(
+            grads0["gpt2.h0.attn.qkv.weight"],
+            serial_grads["gpt2.h0.attn.qkv.weight"][rows],
+            atol=1e-9,
+        )
+
+    def test_mp_comm_pattern_two_allreduces_per_block_per_pass(self):
+        ids = np.random.default_rng(0).integers(0, 64, (2, 8))
+
+        def fn(ctx):
+            rng = np.random.default_rng(3)
+            model = ParallelGPT2Model(CFG, ctx.world, ctx.rank, dtype=np.float32, rng=rng)
+            ctx.ledger.clear()
+            logits, cache = model.forward(Tensor.from_numpy(ids), CTX)
+            n_fwd = sum(1 for e in ctx.ledger.events if e.op == "all_reduce")
+            cache.free()
+            logits.free_if_alive()
+            return n_fwd
+
+        # Forward: 2 all-reduces per block (attn.proj + mlp.fc2).
+        assert run_world(2, fn)[0] == 2 * CFG.n_layers
+
+    def test_vocab_padding(self):
+        cfg = GPTConfig(n_layers=1, hidden=16, n_heads=2, vocab_size=50257, max_seq_len=8)
+
+        def fn(ctx):
+            model = ParallelGPT2Model(cfg, ctx.world, ctx.rank, dtype=np.float16, meta=True)
+            return model.head.padded_vocab, model.head.lm_head.out_local
+
+        padded, local = run_world(2, fn)[0]
+        assert padded == 50258 and local == 25129

@@ -1,0 +1,121 @@
+"""Tensor: real/meta storage, device accounting, views, strict lifetimes."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.specs import GPUSpec
+from repro.memsim.device import Device
+from repro.tensor.tensor import Tensor, dtype_size
+
+MB = 1024 * 1024
+SPEC = GPUSpec("t", 64 * MB, 1e12)
+
+
+def test_dtype_sizes():
+    assert dtype_size(np.float16) == 2
+    assert dtype_size(np.float32) == 4
+    assert dtype_size(np.int64) == 8
+    with pytest.raises(ValueError):
+        dtype_size(np.complex64)
+
+
+def test_real_tensor_allocates_on_device():
+    d = Device(SPEC)
+    t = Tensor((100, 100), np.float32, data=np.zeros((100, 100), np.float32), device=d)
+    assert t.nbytes == 100 * 100 * 4
+    assert d.allocated_bytes == d.raw.aligned(t.nbytes)
+    t.free()
+    assert d.allocated_bytes == 0
+
+
+def test_meta_tensor_allocates_without_data():
+    d = Device(SPEC)
+    t = Tensor.meta((1000,), np.float16, device=d)
+    assert t.is_meta
+    # Device rounds to the 512-byte allocator alignment.
+    assert d.allocated_bytes == 2048 and t.nbytes == 2000
+    with pytest.raises(ValueError, match="meta"):
+        t.numpy()
+    t.free()
+
+
+def test_view_does_not_allocate():
+    d = Device(SPEC)
+    base = Tensor((10, 10), np.float32, data=np.ones((10, 10), np.float32), device=d)
+    view = Tensor((100,), np.float32, data=base.data.reshape(-1), device=d, alloc=False)
+    base_alloc = d.allocated_bytes
+    assert base_alloc == d.raw.aligned(base.nbytes)  # only the base
+    view.free()  # freeing a view is a no-op on device memory
+    assert d.allocated_bytes == base_alloc
+    base.free()
+
+
+def test_double_free_is_strict():
+    t = Tensor.zeros((4,), np.float32)
+    t.free()
+    with pytest.raises(ValueError, match="already freed"):
+        t.free()
+    t2 = Tensor.zeros((4,), np.float32)
+    t2.free_if_alive()
+    t2.free_if_alive()  # idempotent variant
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError, match="shape"):
+        Tensor((2, 3), np.float32, data=np.zeros((3, 2), np.float32))
+
+
+def test_from_numpy_preserves_dtype_and_shape():
+    a = np.arange(6, dtype=np.int64).reshape(2, 3)
+    t = Tensor.from_numpy(a)
+    assert t.shape == (2, 3)
+    assert t.dtype == np.int64
+    assert t.size == 6
+    assert t.nbytes == 48
+    assert t.ndim == 2
+
+
+def test_reshaped_inplace_keeps_ownership():
+    d = Device(SPEC)
+    t = Tensor((4, 4), np.float32, data=np.zeros((4, 4), np.float32), device=d)
+    out = t.reshaped_inplace((16,))
+    assert out is t
+    assert t.shape == (16,)
+    assert d.allocated_bytes == d.raw.aligned(64)
+    with pytest.raises(ValueError):
+        t.reshaped_inplace((5,))
+    t.free()
+    assert d.allocated_bytes == 0
+
+
+def test_zero_size_tensor_costs_nothing():
+    d = Device(SPEC)
+    t = Tensor((0,), np.float32, data=np.zeros((0,), np.float32), device=d)
+    assert d.allocated_bytes == 0
+    t.free()
+
+
+def test_scalar_tensor():
+    t = Tensor((), np.float32, data=np.asarray(3.5, np.float32))
+    assert t.size == 1
+    assert float(t.numpy()) == 3.5
+
+
+def test_like_builds_on_same_device():
+    d = Device(SPEC)
+    t = Tensor.zeros((4,), np.float32, device=d)
+    other = t.like(np.ones((2, 2), np.float32))
+    assert other.device is d
+    assert other.shape == (2, 2)
+    meta = t.like(None, shape=(3,), dtype=np.float16)
+    assert meta.is_meta and meta.dtype == np.float16
+    with pytest.raises(ValueError):
+        t.like(None)  # meta requires explicit shape/dtype
+    t.free()
+    other.free()
+    meta.free()
+
+
+def test_repr_mentions_kind():
+    assert "meta" in repr(Tensor.meta((2,), np.float32))
+    assert "real" in repr(Tensor.zeros((2,), np.float32))

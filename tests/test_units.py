@@ -1,0 +1,65 @@
+"""Unit helpers: byte/param/FLOP formatting and conversion."""
+
+import pytest
+
+from repro.utils.units import (
+    BILLION,
+    GB,
+    TB,
+    TFLOP,
+    TRILLION,
+    bytes_to_gb,
+    bytes_to_str,
+    flops_to_str,
+    gb_to_bytes,
+    params_to_str,
+)
+
+
+def test_paper_gb_convention_is_decimal():
+    # 16 bytes x 7.5B params must read as the paper's "120 GB".
+    assert bytes_to_gb(16 * 7.5 * BILLION) == pytest.approx(120.0)
+
+
+def test_gb_roundtrip():
+    assert bytes_to_gb(gb_to_bytes(31.4)) == pytest.approx(31.4)
+
+
+def test_trillion_parameter_adam_footprint():
+    # Section 1: a 1T-parameter model with Adam in 16-bit needs ~16 TB.
+    assert 16 * TRILLION / TB == pytest.approx(16.0)
+
+
+@pytest.mark.parametrize(
+    "n, expected",
+    [
+        (7.5e9, "7.5B"),
+        (1e12, "1T"),
+        (1.5e9, "1.5B"),
+        (330e6, "330M"),
+        (17e9, "17B"),
+        (999, "999"),
+        (1000, "1K"),
+    ],
+)
+def test_params_to_str(n, expected):
+    assert params_to_str(n) == expected
+
+
+@pytest.mark.parametrize(
+    "n, expected",
+    [
+        (120 * GB, "120.00 GB"),
+        (16 * TB, "16.00 TB"),
+        (1.5e6, "1.50 MB"),
+        (512, "512 B"),
+    ],
+)
+def test_bytes_to_str(n, expected):
+    assert bytes_to_str(n) == expected
+
+
+def test_flops_to_str_petaflops():
+    assert flops_to_str(15e15) == "15.00 PFlops"
+    assert flops_to_str(38 * TFLOP) == "38.00 TFlops"
+    assert flops_to_str(5e9) == "5.00 GFlops"

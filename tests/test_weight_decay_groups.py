@@ -1,0 +1,127 @@
+"""Selective weight decay (param groups over the flat space)."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, GPTConfig, ZeROConfig
+from repro.data import SyntheticCorpus
+from repro.hardware.specs import GPUSpec
+from repro.nn.layers import make_param
+from repro.optim.adam import AdamHyperparams
+from repro.optim.decay import build_decay_mask, default_weight_decay_filter
+from repro.optim.flat import FlatLayout
+from repro.parallel.engine import EngineConfig
+from repro.zero.factory import build_model_and_engine
+
+GPU = GPUSpec("t", 2 * 10**9, 1e12)
+CFG = GPTConfig(n_layers=2, hidden=32, n_heads=4, vocab_size=61, max_seq_len=16)
+CORPUS = SyntheticCorpus(61, seed=7)
+WORLD = 2
+
+
+class TestFilterAndMask:
+    def test_default_filter_convention(self):
+        assert default_weight_decay_filter("gpt2.h0.mlp.fc1.weight")
+        assert default_weight_decay_filter("gpt2.emb.wte.weight")
+        assert not default_weight_decay_filter("gpt2.h0.mlp.fc1.bias")
+        assert not default_weight_decay_filter("gpt2.h0.ln1.gamma")
+        assert not default_weight_decay_filter("gpt2.h0.ln2.beta")
+
+    def test_mask_covers_exact_ranges(self):
+        params = [
+            make_param("a.weight", (4,), init="zeros"),
+            make_param("a.bias", (3,), init="zeros"),
+            make_param("b.gamma", (2,), init="ones"),
+        ]
+        layout = FlatLayout(params, pad_multiple=4)
+        mask = build_decay_mask(layout, default_weight_decay_filter)
+        np.testing.assert_array_equal(mask[:4], 1.0)
+        np.testing.assert_array_equal(mask[4:9], 0.0)
+        np.testing.assert_array_equal(mask[9:], 0.0)  # padding never decays
+
+
+def run(stage, *, wd, use_filter, steps=3):
+    cluster = Cluster(WORLD, gpu=GPU, timeout_s=60.0)
+
+    def fn(ctx):
+        zero = ZeROConfig(stage=stage, checkpoint_activations=False, memory_defrag=False)
+        model, engine = build_model_and_engine(
+            ctx, CFG, zero, dp_group=ctx.world, dtype=np.float32, seed=3,
+            engine_config=EngineConfig(
+                adam=AdamHyperparams(lr=1e-3, weight_decay=wd),
+                weight_decay_filter=default_weight_decay_filter if use_filter else None,
+            ),
+        )
+        for step in range(steps):
+            ids, tgt = CORPUS.sample_batch(2, 16, rank=ctx.rank, step=step)
+            engine.train_step(ids, tgt)
+        grads_off = {
+            p.name: p.data.numpy().copy() for p in model.parameters()
+            if not p.data.freed
+        }
+        return engine.opt_state.master.data.copy(), grads_off
+
+    return cluster.run(fn)
+
+
+class TestEngineIntegration:
+    def test_filter_changes_only_excluded_params(self):
+        """LN gammas drift with uniform decay but not with the filter."""
+        cluster = Cluster(1, gpu=GPU)
+
+        def fn(ctx, use_filter):
+            zero = ZeROConfig(stage=0, checkpoint_activations=False, memory_defrag=False)
+            model, engine = build_model_and_engine(
+                ctx, CFG, zero, dp_group=ctx.world, dtype=np.float32, seed=3,
+                engine_config=EngineConfig(
+                    adam=AdamHyperparams(lr=0.0, weight_decay=0.5),  # decay only
+                    weight_decay_filter=default_weight_decay_filter if use_filter else None,
+                ),
+            )
+            ids, tgt = CORPUS.sample_batch(2, 16, rank=ctx.rank, step=0)
+            engine.train_step(ids, tgt)
+            gamma = next(p for p in model.parameters() if p.name.endswith("ln1.gamma"))
+            weight = next(p for p in model.parameters() if p.name.endswith("fc1.weight"))
+            return float(np.abs(gamma.data.numpy() - 1.0).max()), \
+                float(np.abs(weight.data.numpy()).mean())
+
+        # lr=0 means the only motion is... none: AdamW couples decay with lr.
+        # Use a real lr and compare gammas instead.
+        def fn2(ctx, use_filter):
+            zero = ZeROConfig(stage=0, checkpoint_activations=False, memory_defrag=False)
+            model, engine = build_model_and_engine(
+                ctx, CFG, zero, dp_group=ctx.world, dtype=np.float32, seed=3,
+                engine_config=EngineConfig(
+                    adam=AdamHyperparams(lr=1e-2, weight_decay=5.0),
+                    weight_decay_filter=default_weight_decay_filter if use_filter else None,
+                ),
+            )
+            ids, tgt = CORPUS.sample_batch(2, 16, rank=ctx.rank, step=0)
+            engine.train_step(ids, tgt)
+            gamma = next(p for p in model.parameters() if p.name.endswith("ln1.gamma"))
+            return gamma.data.numpy().copy()
+
+        uniform = Cluster(1, gpu=GPU).run(lambda c: fn2(c, False))[0]
+        filtered = Cluster(1, gpu=GPU).run(lambda c: fn2(c, True))[0]
+        assert not np.array_equal(uniform, filtered)
+        # With heavy uniform decay gammas get dragged toward 0 harder.
+        assert np.abs(uniform).mean() < np.abs(filtered).mean()
+        del fn
+
+    @pytest.mark.parametrize("stage", [1, 2, 3])
+    def test_masked_decay_identical_across_stages(self, stage):
+        ddp = run(0, wd=0.1, use_filter=True)
+        z = run(stage, wd=0.1, use_filter=True)
+        full = ddp[0][0]
+        part = len(full) // WORLD
+        for rank in range(WORLD):
+            np.testing.assert_array_equal(
+                z[rank][0], full[rank * part : (rank + 1) * part]
+            )
+
+    def test_no_filter_means_uniform_decay(self):
+        a = run(2, wd=0.1, use_filter=False)
+        b = run(2, wd=0.1, use_filter=False)
+        np.testing.assert_array_equal(a[0][0], b[0][0])  # deterministic
+        c = run(2, wd=0.1, use_filter=True)
+        assert not np.array_equal(a[0][0], c[0][0])  # filter matters
