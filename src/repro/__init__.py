@@ -40,7 +40,20 @@ Quick start::
 from repro.runtime import Cluster, RankContext
 from repro.nn.transformer import GPTConfig
 from repro.zero.config import ZeROConfig
+from repro.comm.faults import FaultPlan, RetryPolicy
+from repro.supervisor import RestartPolicy, Supervisor, SupervisorReport
 
 __version__ = "1.0.0"
 
-__all__ = ["Cluster", "GPTConfig", "RankContext", "ZeROConfig", "__version__"]
+__all__ = [
+    "Cluster",
+    "FaultPlan",
+    "GPTConfig",
+    "RankContext",
+    "RestartPolicy",
+    "RetryPolicy",
+    "Supervisor",
+    "SupervisorReport",
+    "ZeROConfig",
+    "__version__",
+]

@@ -1,8 +1,21 @@
 """Simulated communication: thread-SPMD collectives, volume ledger, cost model."""
 
 from repro.comm.fabric import CollectiveMismatchError, Fabric, FabricAbortedError
+from repro.comm.faults import (
+    FaultEvent,
+    FaultPlan,
+    RankKilledError,
+    RetryPolicy,
+    TransientCollectiveFault,
+)
 from repro.comm.group import ProcessGroup
-from repro.comm.ledger import NOMINAL_FACTOR, CommEvent, CommLedger, exact_ring_factor
+from repro.comm.ledger import (
+    NOMINAL_FACTOR,
+    CommEvent,
+    CommLedger,
+    RetryEvent,
+    exact_ring_factor,
+)
 from repro.comm.costmodel import PCIE_3_X16, CommCostModel
 from repro.comm.virtual import VirtualGroup
 
@@ -13,9 +26,15 @@ __all__ = [
     "CommLedger",
     "Fabric",
     "FabricAbortedError",
+    "FaultEvent",
+    "FaultPlan",
     "NOMINAL_FACTOR",
     "PCIE_3_X16",
     "ProcessGroup",
+    "RankKilledError",
+    "RetryEvent",
+    "RetryPolicy",
+    "TransientCollectiveFault",
     "VirtualGroup",
     "exact_ring_factor",
 ]

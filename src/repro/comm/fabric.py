@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any
+
+from repro.comm.faults import FaultPlan, RetryPolicy
 
 
 class CollectiveMismatchError(RuntimeError):
@@ -29,13 +32,28 @@ class FabricAbortedError(RuntimeError):
 
 
 class Fabric:
-    """Shared state for one world of ``world_size`` rank-threads."""
+    """Shared state for one world of ``world_size`` rank-threads.
 
-    def __init__(self, world_size: int, *, timeout_s: float = 60.0):
+    ``fault_plan`` (default ``None``: zero overhead, unchanged behavior)
+    injects deterministic failures at the send/collective hooks;
+    ``retry_policy`` governs how process groups retry transient
+    collective faults (see repro.comm.faults).
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        *,
+        timeout_s: float = 60.0,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ):
         if world_size <= 0:
             raise ValueError(f"world_size must be positive, got {world_size}")
         self.world_size = world_size
         self.timeout_s = timeout_s
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy or RetryPolicy()
         self._rendezvous: dict[tuple[int, ...], _Rendezvous] = {}
         self._rendezvous_lock = threading.Lock()
         self._mailboxes: dict[tuple[int, int, Any], queue.Queue] = {}
@@ -72,12 +90,22 @@ class Fabric:
             return box
 
     def send(self, src: int, dst: int, payload: Any, tag: Any = 0) -> None:
+        if self.fault_plan is not None:
+            action = self.fault_plan.on_send(src, dst, tag)
+            if action is not None:
+                if action < 0:  # dropped: the recv timeout will abort the fabric
+                    return
+                time.sleep(action)
         self._mailbox(src, dst, tag).put(payload)
 
     def recv(self, src: int, dst: int, tag: Any = 0) -> Any:
         try:
             return self._mailbox(src, dst, tag).get(timeout=self.timeout_s)
         except queue.Empty:
+            # A lost message means the sender is gone or the link is dead:
+            # abort the whole fabric so peers blocked in rendezvous fail
+            # fast instead of waiting out their own timeout.
+            self.abort()
             raise FabricAbortedError(
                 f"recv timed out: rank {dst} waiting on rank {src} tag {tag!r}"
             ) from None

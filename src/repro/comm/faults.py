@@ -1,0 +1,315 @@
+"""Deterministic fault injection for the thread-SPMD fabric.
+
+At the 400-GPU scale the paper evaluates, model states are partitioned
+1/Nd across data-parallel ranks, so a single rank failure destroys an
+irreplaceable shard of optimizer state — fault tolerance is part of the
+system, not an afterthought. This module provides the *injection* side: a
+``FaultPlan`` is a seeded, deterministic schedule of failures that the
+fabric and process groups consult at well-defined points:
+
+* ``note_step(rank, step)``      — engine optimizer-step boundaries
+  (kill-at-step rules fire here);
+* ``on_collective(rank, op, g)`` — before every collective attempt
+  (kill-after-N-collectives and transient-failure rules fire here);
+* ``on_send(src, dst, tag)``     — before every point-to-point send
+  (drop / delay rules fire here).
+
+A plan is attached to a ``Fabric`` (via ``Cluster(fault_plan=...)``);
+the default is ``None``, in which case every hook is skipped and
+behavior is byte-identical to a fault-free build.
+
+Fault taxonomy:
+
+* **Transient** collective faults raise ``TransientCollectiveFault``.
+  ``ProcessGroup`` retries them with exponential backoff under a
+  ``RetryPolicy`` and records every retry in the rank's ``CommLedger``;
+  a retried step produces results bitwise identical to a fault-free run
+  because the rendezvous only happens once the fault clears.
+* **Permanent** rank kills raise ``RankKilledError`` on the victim. The
+  fabric is aborted so every peer blocked in a rendezvous raises
+  ``FabricAbortedError`` promptly; the ``Supervisor`` (repro.supervisor)
+  can then re-form a smaller world from the survivors.
+* **P2P faults** drop a send (the receiver's timeout then aborts the
+  whole fabric — see ``Fabric.recv``) or delay it by a fixed interval.
+
+Rules fire a bounded number of times and stay consumed afterwards, so a
+supervisor restart does not immediately re-trigger the same failure.
+All bookkeeping is lock-guarded; random injection draws from per-rank
+``numpy`` generators seeded from ``(seed, rank)`` so outcomes do not
+depend on thread interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+class TransientCollectiveFault(RuntimeError):
+    """A collective attempt failed transiently; the caller may retry."""
+
+
+class RankKilledError(RuntimeError):
+    """This rank was permanently killed by the fault plan."""
+
+    def __init__(self, rank: int, reason: str):
+        super().__init__(f"rank {rank} killed by fault plan: {reason}")
+        self.rank = rank
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/deadline policy for transient collective faults.
+
+    ``max_attempts`` counts *total* tries (first try + retries). The
+    backoff before retry ``k`` (1-based failure count) is
+    ``base_backoff_s * backoff_multiplier**(k-1)`` capped at
+    ``max_backoff_s``. ``deadline_s``, when set, bounds the wall-clock
+    budget of one logical collective across all its attempts; a retry
+    that would overshoot the deadline escalates instead of sleeping.
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.005
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 0.25
+    deadline_s: float | None = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff times must be non-negative")
+
+    def backoff_s(self, failure_count: int) -> float:
+        """Sleep before the retry following the ``failure_count``-th failure."""
+        return min(
+            self.base_backoff_s * self.backoff_multiplier ** max(failure_count - 1, 0),
+            self.max_backoff_s,
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault the plan actually injected (for assertions/reports)."""
+
+    kind: str  # "kill" | "transient" | "drop_send" | "delay_send"
+    rank: int  # victim rank (src rank for p2p faults)
+    op: str    # collective op, "step", or "send"
+    detail: str = ""
+
+
+@dataclass
+class _KillRule:
+    rank: int
+    at_step: int | None = None
+    after_collectives: int | None = None
+    fired: bool = False
+
+
+@dataclass
+class _TransientRule:
+    rank: int | None  # None = any rank
+    op: str | None    # None = any collective
+    nth: int          # first matching attempt to fail (1-based)
+    times: int        # number of consecutive matching attempts to fail
+    counts: dict[int, int] = field(default_factory=dict)  # per-rank matches
+
+
+@dataclass
+class _RandomRule:
+    prob: float
+    op: str | None
+    max_faults: int
+    fired: int = 0
+
+
+@dataclass
+class _SendRule:
+    kind: str  # "drop" | "delay"
+    src: int
+    dst: int | None
+    tag: Any | None
+    nth: int
+    times: int
+    delay_s: float = 0.0
+    count: int = 0
+    fired: int = 0
+
+
+class FaultPlan:
+    """A deterministic, seeded schedule of injected failures.
+
+    Builder methods return ``self`` so plans read as one expression::
+
+        plan = (FaultPlan(seed=7)
+                .fail_collective(rank=1, op="all_reduce", times=2)
+                .kill_rank(2, at_step=3))
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._kills: list[_KillRule] = []
+        self._transients: list[_TransientRule] = []
+        self._randoms: list[_RandomRule] = []
+        self._sends: list[_SendRule] = []
+        self._rngs: dict[int, np.random.Generator] = {}
+        self._collective_count: dict[int, int] = {}
+        #: every fault that actually fired, in firing order
+        self.events: list[FaultEvent] = []
+        #: ranks killed so far, in order of death (old-world numbering)
+        self.killed_ranks: list[int] = []
+
+    # -- builders ----------------------------------------------------------
+
+    def kill_rank(
+        self, rank: int, *, at_step: int | None = None,
+        after_collectives: int | None = None,
+    ) -> "FaultPlan":
+        """Permanently kill ``rank`` when its optimizer step reaches
+        ``at_step``, or after it has issued ``after_collectives``
+        collective attempts. Exactly one trigger must be given; the rule
+        fires once."""
+        if (at_step is None) == (after_collectives is None):
+            raise ValueError("specify exactly one of at_step / after_collectives")
+        self._kills.append(_KillRule(rank, at_step, after_collectives))
+        return self
+
+    def fail_collective(
+        self, *, rank: int | None = None, op: str | None = None,
+        nth: int = 1, times: int = 1,
+    ) -> "FaultPlan":
+        """Make matching collective attempts fail transiently: per rank,
+        matching attempts ``nth .. nth+times-1`` (1-based) raise
+        ``TransientCollectiveFault``. Retries count as new attempts, so
+        ``times`` consecutive failures are cleared by ``times`` retries."""
+        if nth < 1 or times < 1:
+            raise ValueError("nth and times must be >= 1")
+        self._transients.append(_TransientRule(rank, op, nth, times))
+        return self
+
+    def fail_randomly(
+        self, *, prob: float, op: str | None = None, max_faults: int = 8
+    ) -> "FaultPlan":
+        """Fail collective attempts at probability ``prob`` (per attempt,
+        per rank), drawn from a per-rank generator seeded from the plan
+        seed — deterministic regardless of thread scheduling."""
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"prob must be in [0, 1], got {prob}")
+        self._randoms.append(_RandomRule(prob, op, max_faults))
+        return self
+
+    def drop_send(
+        self, *, src: int, dst: int | None = None, tag: Any | None = None,
+        nth: int = 1, times: int = 1,
+    ) -> "FaultPlan":
+        """Silently drop matching point-to-point sends (matches
+        ``nth .. nth+times-1``). The receiver's timeout then aborts the
+        fabric so every rank fails fast."""
+        self._sends.append(_SendRule("drop", src, dst, tag, nth, times))
+        return self
+
+    def delay_send(
+        self, *, src: int, delay_s: float, dst: int | None = None,
+        tag: Any | None = None, nth: int = 1, times: int = 1,
+    ) -> "FaultPlan":
+        """Delay matching point-to-point sends by ``delay_s`` seconds."""
+        if delay_s < 0:
+            raise ValueError(f"delay_s must be non-negative, got {delay_s}")
+        self._sends.append(_SendRule("delay", src, dst, tag, nth, times, delay_s))
+        return self
+
+    # -- hooks (called by the fabric / groups / engines) -------------------
+
+    def note_step(self, rank: int, step: int) -> None:
+        """Engine hook at optimizer-step boundaries; may raise
+        ``RankKilledError`` for kill-at-step rules."""
+        with self._lock:
+            for rule in self._kills:
+                if rule.fired or rule.rank != rank or rule.at_step is None:
+                    continue
+                if step >= rule.at_step:
+                    self._fire_kill(rule, f"at step {step}")
+
+    def on_collective(self, rank: int, op: str, group_ranks: tuple[int, ...]) -> None:
+        """Group hook before every collective attempt; may raise
+        ``RankKilledError`` or ``TransientCollectiveFault``."""
+        with self._lock:
+            count = self._collective_count.get(rank, 0) + 1
+            self._collective_count[rank] = count
+            for rule in self._kills:
+                if rule.fired or rule.rank != rank or rule.after_collectives is None:
+                    continue
+                if count > rule.after_collectives:
+                    self._fire_kill(rule, f"after {rule.after_collectives} collectives")
+            for t in self._transients:
+                if t.rank is not None and t.rank != rank:
+                    continue
+                if t.op is not None and t.op != op:
+                    continue
+                c = t.counts.get(rank, 0) + 1
+                t.counts[rank] = c
+                if t.nth <= c < t.nth + t.times:
+                    self.events.append(FaultEvent("transient", rank, op, f"match {c}"))
+                    raise TransientCollectiveFault(
+                        f"injected transient fault: {op!r} on rank {rank} "
+                        f"(match {c} in group {group_ranks})"
+                    )
+            for r in self._randoms:
+                if r.op is not None and r.op != op:
+                    continue
+                if r.fired >= r.max_faults:
+                    continue
+                rng = self._rngs.get(rank)
+                if rng is None:
+                    rng = self._rngs[rank] = np.random.default_rng(
+                        np.random.SeedSequence([self.seed, rank])
+                    )
+                if rng.random() < r.prob:
+                    r.fired += 1
+                    self.events.append(FaultEvent("transient", rank, op, "random"))
+                    raise TransientCollectiveFault(
+                        f"injected random transient fault: {op!r} on rank {rank}"
+                    )
+
+    def on_send(self, src: int, dst: int, tag: Any) -> float | None:
+        """Fabric hook before a p2p send. Returns ``None`` to deliver
+        normally, ``-1.0`` to drop, or a delay in seconds."""
+        with self._lock:
+            for rule in self._sends:
+                if rule.src != src:
+                    continue
+                if rule.dst is not None and rule.dst != dst:
+                    continue
+                if rule.tag is not None and rule.tag != tag:
+                    continue
+                rule.count += 1
+                if not (rule.nth <= rule.count < rule.nth + rule.times):
+                    continue
+                rule.fired += 1
+                if rule.kind == "drop":
+                    self.events.append(
+                        FaultEvent("drop_send", src, "send", f"dst {dst} tag {tag!r}")
+                    )
+                    return -1.0
+                self.events.append(
+                    FaultEvent("delay_send", src, "send",
+                               f"dst {dst} tag {tag!r} delay {rule.delay_s}s")
+                )
+                return rule.delay_s
+        return None
+
+    # -- internals ---------------------------------------------------------
+
+    def _fire_kill(self, rule: _KillRule, detail: str) -> None:
+        rule.fired = True
+        self.killed_ranks.append(rule.rank)
+        self.events.append(FaultEvent("kill", rule.rank, "step"
+                                      if rule.at_step is not None else "collective",
+                                      detail))
+        raise RankKilledError(rule.rank, detail)

@@ -12,11 +12,13 @@ attribute volume to e.g. gradient reduction vs parameter all-gather.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 import numpy as np
 
-from repro.comm.fabric import Fabric
+from repro.comm.fabric import Fabric, FabricAbortedError
+from repro.comm.faults import RankKilledError, TransientCollectiveFault
 from repro.comm.ledger import CommLedger
 
 
@@ -89,25 +91,78 @@ class ProcessGroup:
         if ledger is not None:
             ledger.record(op, message_bytes, self.ranks, phase)
 
+    # -- fault-aware rendezvous entry ----------------------------------------
+
+    def _exchange(self, rank: int, value, tag, op: str) -> list:
+        """Enter the rendezvous, consulting the fabric's fault plan first.
+
+        A transient injected fault fails *before* the deposit, so the
+        faulting rank simply retries (with exponential backoff under the
+        fabric's ``RetryPolicy``) while its peers wait at the barrier —
+        once the fault clears, the exchange happens exactly once and the
+        result is bitwise identical to a fault-free run. Every failed
+        attempt is recorded in this rank's ledger. Exhausted retries (or
+        a blown per-collective deadline) and permanent kills abort the
+        fabric so *all* ranks raise promptly.
+        """
+        plan = self.fabric.fault_plan
+        if plan is None:
+            return self._rendezvous.exchange(rank, value, tag)
+        policy = self.fabric.retry_policy
+        deadline = (
+            time.monotonic() + policy.deadline_s
+            if policy.deadline_s is not None
+            else None
+        )
+        attempt = 1
+        while True:
+            try:
+                plan.on_collective(rank, op, self.ranks)
+            except TransientCollectiveFault as fault:
+                backoff = policy.backoff_s(attempt)
+                exhausted = attempt >= policy.max_attempts or (
+                    deadline is not None and time.monotonic() + backoff > deadline
+                )
+                ledger = self._ledgers.get(rank)
+                if ledger is not None:
+                    ledger.record_retry(
+                        op, self.ranks, attempt,
+                        0.0 if exhausted else backoff,
+                        str(fault), gave_up=exhausted,
+                    )
+                if exhausted:
+                    self.fabric.abort()
+                    raise FabricAbortedError(
+                        f"collective {op!r} on rank {rank} failed permanently "
+                        f"after {attempt} attempt(s): {fault}"
+                    ) from fault
+                time.sleep(backoff)
+                attempt += 1
+                continue
+            except RankKilledError:
+                self.fabric.abort()
+                raise
+            return self._rendezvous.exchange(rank, value, tag)
+
     # -- collectives ---------------------------------------------------------
 
     def barrier(self, rank: int) -> None:
         self.group_index(rank)
-        self._rendezvous.barrier(rank)
+        self._exchange(rank, None, "barrier", "barrier")
         self._record(rank, "barrier", 0, "")
 
     def meta_collective(self, rank: int, op: str, message_bytes: int, phase: str = "") -> None:
         """Meta-mode collective: synchronize SPMD order and record volume
         without moving data (the 100B-scale engines run on meta tensors)."""
         self.group_index(rank)
-        self._rendezvous.exchange(rank, None, ("meta", op, int(message_bytes)))
+        self._exchange(rank, None, ("meta", op, int(message_bytes)), op)
         self._record(rank, op, int(message_bytes), phase)
 
     def all_reduce(
         self, rank: int, array: np.ndarray, op: str = "sum", phase: str = ""
     ) -> np.ndarray:
         """Reduce everyone's array and return the result to all ranks."""
-        contributions = self._rendezvous.exchange(rank, array, ("all_reduce", array.shape))
+        contributions = self._exchange(rank, array, ("all_reduce", array.shape), "all_reduce")
         self._record(rank, "all_reduce", array.nbytes, phase)
         return _reduce_arrays(contributions, op)
 
@@ -116,7 +171,7 @@ class ProcessGroup:
     ) -> np.ndarray | None:
         """Reduce to the group member with global rank ``dst``; others get None."""
         self.group_index(dst)
-        contributions = self._rendezvous.exchange(rank, array, ("reduce", dst, array.shape))
+        contributions = self._exchange(rank, array, ("reduce", dst, array.shape), "reduce")
         self._record(rank, "reduce", array.nbytes, phase)
         if rank == dst:
             return _reduce_arrays(contributions, op)
@@ -135,8 +190,8 @@ class ProcessGroup:
                 f"reduce_scatter needs a 1-D array with length divisible by {n}, "
                 f"got shape {array.shape}"
             )
-        contributions = self._rendezvous.exchange(
-            rank, array, ("reduce_scatter", array.shape)
+        contributions = self._exchange(
+            rank, array, ("reduce_scatter", array.shape), "reduce_scatter"
         )
         self._record(rank, "reduce_scatter", array.nbytes, phase)
         shard = array.shape[0] // n
@@ -146,7 +201,7 @@ class ProcessGroup:
 
     def all_gather(self, rank: int, shard: np.ndarray, phase: str = "") -> np.ndarray:
         """Concatenate every rank's equal-length shard, in group order."""
-        shards = self._rendezvous.exchange(rank, shard, ("all_gather", shard.shape))
+        shards = self._exchange(rank, shard, ("all_gather", shard.shape), "all_gather")
         lengths = {s.shape for s in shards}
         if len(lengths) != 1:
             raise ValueError(f"all_gather shards have mismatched shapes: {lengths}")
@@ -157,7 +212,7 @@ class ProcessGroup:
     def broadcast(self, rank: int, array: np.ndarray | None, src: int, phase: str = "") -> np.ndarray:
         """Send ``src``'s array to every rank. Non-src inputs are ignored."""
         self.group_index(src)
-        slots = self._rendezvous.exchange(rank, array, ("broadcast", src))
+        slots = self._exchange(rank, array, ("broadcast", src), "broadcast")
         payload = slots[self.group_index(src)]
         if payload is None:
             raise ValueError(f"broadcast: src rank {src} supplied no array")
@@ -166,7 +221,7 @@ class ProcessGroup:
 
     def gather(self, rank: int, array: np.ndarray, dst: int, phase: str = "") -> list[np.ndarray] | None:
         self.group_index(dst)
-        slots = self._rendezvous.exchange(rank, array, ("gather", dst, array.shape))
+        slots = self._exchange(rank, array, ("gather", dst, array.shape), "gather")
         self._record(rank, "gather", array.nbytes, phase)
         if rank == dst:
             return [np.asarray(s).copy() for s in slots]
@@ -177,7 +232,7 @@ class ProcessGroup:
     ) -> np.ndarray:
         self.group_index(src)
         tag = ("scatter", src)
-        slots = self._rendezvous.exchange(rank, arrays, tag)
+        slots = self._exchange(rank, arrays, tag, "scatter")
         payload = slots[self.group_index(src)]
         if payload is None or len(payload) != self.size:
             raise ValueError(f"scatter: src must supply {self.size} arrays")
@@ -189,7 +244,7 @@ class ProcessGroup:
         """Rank i's j-th array goes to rank j's i-th output slot."""
         if len(arrays) != self.size:
             raise ValueError(f"all_to_all needs {self.size} arrays, got {len(arrays)}")
-        slots = self._rendezvous.exchange(rank, list(arrays), ("all_to_all",))
+        slots = self._exchange(rank, list(arrays), ("all_to_all",), "all_to_all")
         idx = self.group_index(rank)
         out = [np.asarray(s[idx]).copy() for s in slots]
         self._record(rank, "all_to_all", sum(a.nbytes for a in out), phase)

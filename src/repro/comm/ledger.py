@@ -56,6 +56,23 @@ def exact_ring_factor(op: str, group_size: int) -> float:
 
 
 @dataclass(frozen=True)
+class RetryEvent:
+    """One retried (or abandoned) collective attempt on one rank.
+
+    Retries are control-plane bookkeeping: they are recorded even while
+    the ledger is ``enabled = False`` and carry no volume — the
+    collective's traffic is recorded once, when it finally succeeds.
+    """
+
+    op: str
+    group_ranks: tuple[int, ...]
+    attempt: int       # 1-based attempt number that failed
+    backoff_s: float   # sleep before the next attempt (0.0 when giving up)
+    error: str
+    gave_up: bool = False  # True when this failure escalated to an abort
+
+
+@dataclass(frozen=True)
 class CommEvent:
     """One collective (or copy) as seen by one rank."""
 
@@ -80,6 +97,7 @@ class CommLedger:
     def __init__(self, rank: int):
         self.rank = rank
         self.events: list[CommEvent] = []
+        self.retries: list[RetryEvent] = []
         self.enabled = True
 
     def record(
@@ -103,8 +121,31 @@ class CommLedger:
             )
         )
 
+    def record_retry(
+        self,
+        op: str,
+        group_ranks: tuple[int, ...],
+        attempt: int,
+        backoff_s: float,
+        error: str,
+        *,
+        gave_up: bool = False,
+    ) -> None:
+        """Record one failed collective attempt (see RetryEvent)."""
+        self.retries.append(
+            RetryEvent(
+                op=op,
+                group_ranks=tuple(group_ranks),
+                attempt=int(attempt),
+                backoff_s=float(backoff_s),
+                error=error,
+                gave_up=gave_up,
+            )
+        )
+
     def clear(self) -> None:
         self.events.clear()
+        self.retries.clear()
 
     # -- aggregation -------------------------------------------------------
 

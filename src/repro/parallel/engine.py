@@ -152,6 +152,10 @@ class BaseEngine:
         boundary = self._micro_step % self.config.gradient_accumulation_steps == 0
         if boundary:
             self.step_count += 1
+            plan = self.ctx.fabric.fault_plan
+            if plan is not None:
+                # Kill-at-step fault rules fire here (repro.comm.faults).
+                plan.note_step(self.ctx.rank, self.step_count)
         free_inputs = []
         if isinstance(token_ids, Tensor):
             ids_t = token_ids
@@ -270,6 +274,15 @@ class BaseEngine:
 
     def _release_gradients(self) -> None:
         self.model.zero_grad()
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint_partition(self) -> tuple[int, int]:
+        """[lo, hi) of the padded flat space this engine's optimizer state
+        covers. Replicated engines own the whole space; ZeRO engines
+        override with their 1/Nd partition. ``checkpoint_io`` uses this to
+        re-shard N-rank checkpoints into M-rank worlds."""
+        return 0, self.layout.numel
 
     # -- teardown -----------------------------------------------------------------
 

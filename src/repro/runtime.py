@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.comm.fabric import Fabric
+from repro.comm.faults import FaultPlan, RetryPolicy
 from repro.comm.group import ProcessGroup
 from repro.comm.ledger import CommLedger
 from repro.hardware.specs import GPUSpec, V100_32GB
@@ -125,6 +126,8 @@ class Cluster:
         topology: ClusterTopology | None = None,
         timeout_s: float = 120.0,
         host: HostMemory | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.world_size = world_size
         self.topology = topology or ClusterTopology.for_world_size(world_size)
@@ -132,7 +135,10 @@ class Cluster:
             raise ValueError(
                 f"topology world_size {self.topology.world_size} != cluster {world_size}"
             )
-        self.fabric = Fabric(world_size, timeout_s=timeout_s)
+        self.fabric = Fabric(
+            world_size, timeout_s=timeout_s,
+            fault_plan=fault_plan, retry_policy=retry_policy,
+        )
         self.fabric.group_registry = _GroupRegistry(self.fabric)  # type: ignore[attr-defined]
         self.devices = [Device(gpu, index=i) for i in range(world_size)]
         self.host = host or HostMemory()
@@ -182,12 +188,17 @@ class Cluster:
             t.join()
         # Prefer the root cause: a rank's own failure outranks the
         # FabricAbortedError its peers raised when the fabric was torn down.
+        # Among aborts, one chained to a cause (e.g. a collective whose
+        # retries were exhausted) outranks the bare peer-side aborts.
         from repro.comm.fabric import FabricAbortedError
 
         root = [e for e in errors if e is not None and not isinstance(e, FabricAbortedError)]
         secondary = [e for e in errors if isinstance(e, FabricAbortedError)]
         if root:
             raise root[0]
+        for e in secondary:
+            if e.__cause__ is not None:
+                raise e
         if secondary:
             raise secondary[0]
         return results

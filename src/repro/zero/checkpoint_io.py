@@ -8,21 +8,46 @@ from the restored fp32 masters via the engine's own parameter all-gather;
 stage 3 simply restores its shard (parameters re-materialize lazily).
 
 Format: one ``rank{r}.npz`` per rank plus a ``meta.json`` written by rank
-0. Resuming is bitwise: training N steps, saving, loading, and training M
+0. All files are written to a temp name and atomically renamed, so a rank
+dying mid-save can leave a checkpoint *incomplete* (missing rank files)
+but never *corrupt* (half-written files). Loaders validate completeness:
+the directory must hold exactly ``meta.world_size`` rank files and every
+rank file's recorded step must agree with ``meta.json`` — a torn
+checkpoint (e.g. one rank's file from an older save) is rejected.
+
+Resuming is bitwise: training N steps, saving, loading, and training M
 more produces exactly the states of training N+M steps straight through
 (tested in tests/test_checkpoint_io.py).
+
+Elastic re-sharding: ``load_checkpoint_resharded`` loads a checkpoint
+written by an N-rank world into an M-rank world (M != N). Because the
+flat layouts only differ in tail padding (padded to a multiple of the DP
+degree), the concatenated shards are truncated to the unpadded length,
+re-padded for the new degree, and re-sliced per the new partition bounds.
+Adam's update is elementwise over the flat space, so a re-sharded resume
+is bitwise identical to an uninterrupted M-rank run resumed from the same
+state — the property the elastic ``Supervisor`` relies on after a rank
+failure shrinks the world.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import re
 
 import numpy as np
 
 from repro.parallel.engine import BaseEngine
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+_VECTOR_KEYS = ("master", "m", "v")  # per-partition fp32 optimizer state
+_SCALAR_KEYS = (
+    "opt_step", "step_count", "micro_step",
+    "scaler_scale", "scaler_good_steps", "scaler_skipped",
+)
 
 
 def _meta_for(engine: BaseEngine) -> dict:
@@ -31,16 +56,40 @@ def _meta_for(engine: BaseEngine) -> dict:
         "engine": engine.name,
         "world_size": engine.dp_group.size,
         "flat_numel": engine.layout.numel,
+        "flat_numel_unpadded": engine.layout.numel_unpadded,
         "step_count": engine.step_count,
         "model_dtype": str(np.dtype(engine.model.dtype)),
     }
 
 
+def _atomic_write_npz(path: pathlib.Path, payload: dict) -> None:
+    """Write an npz next to ``path`` and atomically rename into place.
+
+    ``np.savez`` appends ``.npz`` to extension-less names, so write
+    through an open handle to keep full control of the temp name.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as f:
+        np.savez(f, **payload)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
 def save_checkpoint(engine: BaseEngine, directory: str | pathlib.Path) -> pathlib.Path:
     """Write this rank's shard of the training state.
 
-    Every rank must call this (SPMD); rank files are disjoint so no
-    coordination is needed beyond a shared directory.
+    Every rank must call this (SPMD); rank files are disjoint so the only
+    coordination is the closing barrier, which makes the return a durable
+    point: once any rank's call returns, all files are in place. Each file
+    appears atomically: a crash mid-save leaves an incomplete checkpoint
+    that loaders reject, never a torn one they half-read.
     """
     if engine.is_meta:
         raise ValueError("cannot checkpoint a meta-mode engine (no values exist)")
@@ -62,48 +111,130 @@ def save_checkpoint(engine: BaseEngine, directory: str | pathlib.Path) -> pathli
     if hasattr(engine, "param_shard"):  # stage 3
         payload["param_shard"] = engine.param_shard.numpy()
     path = directory / f"rank{rank_index}.npz"
-    np.savez(path, **payload)
+    _atomic_write_npz(path, payload)
     if rank_index == 0:
-        (directory / "meta.json").write_text(json.dumps(_meta_for(engine), indent=2))
+        _atomic_write_text(
+            directory / "meta.json", json.dumps(_meta_for(engine), indent=2)
+        )
+    # Durable point: a rank returning from save must be able to read every
+    # peer's file (loaders validate all of them), so wait for the slowest.
+    engine.dp_group.barrier(engine.ctx.rank)
     return path
 
 
-def load_checkpoint(engine: BaseEngine, directory: str | pathlib.Path) -> None:
-    """Restore this rank's shard and rebuild the fp16 parameters."""
-    if engine.is_meta:
-        raise ValueError("cannot restore into a meta-mode engine")
-    directory = pathlib.Path(directory)
-    meta = json.loads((directory / "meta.json").read_text())
+# -- validation ---------------------------------------------------------------
+
+
+def _read_meta(directory: pathlib.Path) -> dict:
+    meta_path = directory / "meta.json"
+    if not meta_path.exists():
+        raise ValueError(f"incomplete checkpoint: {directory} has no meta.json")
+    meta = json.loads(meta_path.read_text())
     if meta["format_version"] != FORMAT_VERSION:
         raise ValueError(f"unsupported checkpoint format {meta['format_version']}")
-    if meta["world_size"] != engine.dp_group.size:
+    return meta
+
+
+def _rank_files(directory: pathlib.Path) -> dict[int, pathlib.Path]:
+    out = {}
+    for p in directory.glob("rank*.npz"):
+        m = re.fullmatch(r"rank(\d+)\.npz", p.name)
+        if m:
+            out[int(m.group(1))] = p
+    return out
+
+
+def _check_complete(directory: pathlib.Path, meta: dict) -> dict[int, pathlib.Path]:
+    """The directory must hold exactly the rank files meta promises."""
+    files = _rank_files(directory)
+    expected = set(range(meta["world_size"]))
+    if set(files) != expected:
         raise ValueError(
-            f"checkpoint was written by a DP world of {meta['world_size']}, "
-            f"this engine runs {engine.dp_group.size} (resharding not supported)"
+            f"torn checkpoint: {directory} has rank files {sorted(files)} "
+            f"but meta.json promises world_size {meta['world_size']}"
         )
-    if meta["flat_numel"] != engine.layout.numel:
+    return files
+
+
+def _check_rank_step(data, meta: dict, path: pathlib.Path) -> None:
+    """A rank file whose step disagrees with meta.json is from another save."""
+    if int(data["step_count"]) != meta["step_count"]:
         raise ValueError(
-            f"checkpoint flat size {meta['flat_numel']} != model {engine.layout.numel}"
+            f"torn checkpoint: {path.name} is at step {int(data['step_count'])} "
+            f"but meta.json says step {meta['step_count']}"
         )
+
+
+def _check_untorn(directory: pathlib.Path, meta: dict) -> dict[int, pathlib.Path]:
+    """Validate every rank file, not just the caller's own.
+
+    Loading is SPMD: if only the rank whose file is torn raised, its peers
+    would sail on into the parameter all-gather and hang. Checking all
+    files makes every rank reach the same verdict independently.
+    """
+    files = _check_complete(directory, meta)
+    for path in files.values():
+        with np.load(path) as data:
+            _check_rank_step(data, meta, path)
+    return files
+
+
+def _check_engine_compat(engine: BaseEngine, meta: dict) -> None:
     if meta["engine"] != engine.name:
         raise ValueError(
             f"checkpoint was written by engine {meta['engine']!r}, not {engine.name!r}"
         )
-    rank_index = engine.dp_group.group_index(engine.ctx.rank)
-    with np.load(directory / f"rank{rank_index}.npz") as data:
-        engine.opt_state.master.data[:] = data["master"]
-        engine.opt_state.m.data[:] = data["m"]
-        engine.opt_state.v.data[:] = data["v"]
-        engine.opt_state.step_count = int(data["opt_step"])
-        engine.step_count = int(data["step_count"])
-        engine._micro_step = int(data["micro_step"])
-        engine.scaler.scale = float(data["scaler_scale"])
-        engine.scaler.good_steps = int(data["scaler_good_steps"])
-        engine.scaler.n_skipped = int(data["scaler_skipped"])
-        if hasattr(engine, "param_shard"):
-            engine.param_shard.data[:] = data["param_shard"]
+    if meta["flat_numel_unpadded"] != engine.layout.numel_unpadded:
+        raise ValueError(
+            f"checkpoint unpadded flat size {meta['flat_numel_unpadded']} "
+            f"!= model {engine.layout.numel_unpadded}"
+        )
 
-    # Rebuild replicated fp16 parameters from the restored masters.
+
+def is_complete_checkpoint(directory: str | pathlib.Path) -> bool:
+    """True when ``directory`` is a durable (complete, untorn) checkpoint."""
+    directory = pathlib.Path(directory)
+    try:
+        _check_untorn(directory, _read_meta(directory))
+    except (ValueError, OSError, KeyError, json.JSONDecodeError):
+        return False
+    return True
+
+
+def latest_checkpoint(root: str | pathlib.Path) -> pathlib.Path | None:
+    """The complete checkpoint under ``root`` with the highest step.
+
+    Incomplete or torn subdirectories (e.g. a save interrupted by the
+    failure that triggered recovery) are skipped — this is what makes a
+    checkpoint *durable* from the supervisor's point of view.
+    """
+    root = pathlib.Path(root)
+    if not root.is_dir():
+        return None
+    best: tuple[int, pathlib.Path] | None = None
+    for sub in sorted(root.iterdir()):
+        if not sub.is_dir() or not is_complete_checkpoint(sub):
+            continue
+        step = json.loads((sub / "meta.json").read_text())["step_count"]
+        if best is None or step > best[0]:
+            best = (step, sub)
+    return best[1] if best else None
+
+
+# -- loading ------------------------------------------------------------------
+
+
+def _restore_scalars(engine: BaseEngine, data) -> None:
+    engine.opt_state.step_count = int(data["opt_step"])
+    engine.step_count = int(data["step_count"])
+    engine._micro_step = int(data["micro_step"])
+    engine.scaler.scale = float(data["scaler_scale"])
+    engine.scaler.good_steps = int(data["scaler_good_steps"])
+    engine.scaler.n_skipped = int(data["scaler_skipped"])
+
+
+def _rebuild_fp16_params(engine: BaseEngine) -> None:
+    """Rebuild the replicated fp16 parameters from the restored masters."""
     if hasattr(engine, "_all_gather_params"):  # stages 1-2
         engine._all_gather_params(
             engine.opt_state.master.numpy().astype(engine.model.dtype)
@@ -113,3 +244,108 @@ def load_checkpoint(engine: BaseEngine, directory: str | pathlib.Path) -> None:
             engine.opt_state.master.numpy().astype(engine.model.dtype)
         )
     # Stage 3 needs nothing: parameters materialize from param_shard lazily.
+
+
+def load_checkpoint(engine: BaseEngine, directory: str | pathlib.Path) -> None:
+    """Restore this rank's shard and rebuild the fp16 parameters.
+
+    Strict mode: the checkpoint must come from a world of the same DP
+    degree. Use ``load_checkpoint_resharded`` to resume at a different
+    degree (elastic recovery).
+    """
+    if engine.is_meta:
+        raise ValueError("cannot restore into a meta-mode engine")
+    directory = pathlib.Path(directory)
+    meta = _read_meta(directory)
+    if meta["world_size"] != engine.dp_group.size:
+        raise ValueError(
+            f"checkpoint was written by a DP world of {meta['world_size']}, "
+            f"this engine runs {engine.dp_group.size} "
+            f"(use load_checkpoint_resharded to re-shard)"
+        )
+    if meta["flat_numel"] != engine.layout.numel:
+        raise ValueError(
+            f"checkpoint flat size {meta['flat_numel']} != model {engine.layout.numel}"
+        )
+    _check_engine_compat(engine, meta)
+    _check_untorn(directory, meta)
+    rank_index = engine.dp_group.group_index(engine.ctx.rank)
+    path = directory / f"rank{rank_index}.npz"
+    with np.load(path) as data:
+        engine.opt_state.master.data[:] = data["master"]
+        engine.opt_state.m.data[:] = data["m"]
+        engine.opt_state.v.data[:] = data["v"]
+        _restore_scalars(engine, data)
+        if hasattr(engine, "param_shard"):
+            engine.param_shard.data[:] = data["param_shard"]
+
+    _rebuild_fp16_params(engine)
+
+
+def load_checkpoint_resharded(
+    engine: BaseEngine, directory: str | pathlib.Path
+) -> None:
+    """Restore a checkpoint written by *any* DP degree into this engine.
+
+    Every rank reads all N source shards, concatenates them over the flat
+    space, strips the old tail padding, re-pads for the new degree, and
+    keeps the slice its own partition bounds dictate. Adam state is
+    elementwise over the flat space, so resuming re-sharded is bitwise
+    identical to resuming at the original degree and continuing — which
+    is how the elastic ``Supervisor`` re-forms a smaller world after a
+    rank failure without losing optimizer state.
+    """
+    if engine.is_meta:
+        raise ValueError("cannot restore into a meta-mode engine")
+    directory = pathlib.Path(directory)
+    meta = _read_meta(directory)
+    _check_engine_compat(engine, meta)
+    if meta["world_size"] == engine.dp_group.size:
+        load_checkpoint(engine, directory)  # same degree: plain shard restore
+        return
+    files = _check_complete(directory, meta)
+
+    unpadded = meta["flat_numel_unpadded"]
+    new_numel = engine.layout.numel
+    keys = list(_VECTOR_KEYS)
+    if hasattr(engine, "param_shard"):
+        keys.append("param_shard")
+    pieces: dict[str, list[np.ndarray]] = {k: [] for k in keys}
+    scalars = None
+    for idx in range(meta["world_size"]):
+        path = files[idx]
+        with np.load(path) as data:
+            _check_rank_step(data, meta, path)
+            for k in keys:
+                if k not in data:
+                    raise ValueError(
+                        f"torn checkpoint: {path.name} lacks {k!r} "
+                        f"(engine {meta['engine']!r} expects it)"
+                    )
+                pieces[k].append(np.array(data[k]))
+            if idx == 0:
+                scalars = {k: np.array(data[k]) for k in _SCALAR_KEYS}
+
+    lo, hi = engine.checkpoint_partition()
+
+    def reshard(vecs: list[np.ndarray]) -> np.ndarray:
+        if vecs[0].shape[0] == meta["flat_numel"]:
+            full = vecs[0]  # replicated state (DDP): every rank holds a full copy
+        else:
+            full = np.concatenate(vecs)
+        if full.shape[0] != meta["flat_numel"]:
+            raise ValueError(
+                f"torn checkpoint: shards total {full.shape[0]} elements, "
+                f"meta.json promises {meta['flat_numel']}"
+            )
+        repadded = np.zeros(new_numel, full.dtype)
+        repadded[:unpadded] = full[:unpadded]
+        return repadded[lo:hi]
+
+    engine.opt_state.master.data[:] = reshard(pieces["master"])
+    engine.opt_state.m.data[:] = reshard(pieces["m"])
+    engine.opt_state.v.data[:] = reshard(pieces["v"])
+    if hasattr(engine, "param_shard"):
+        engine.param_shard.data[:] = reshard(pieces["param_shard"])
+    _restore_scalars(engine, scalars)
+    _rebuild_fp16_params(engine)

@@ -243,6 +243,10 @@ class _ZeroDPBase(BaseEngine):
         if full is not None:
             self.layout.scatter_params(full.astype(self.model.dtype))
 
+    def checkpoint_partition(self) -> tuple[int, int]:
+        """This rank's 1/Nd optimizer-state partition (for checkpoint_io)."""
+        return self.part_lo, self.part_hi
+
     def free(self) -> None:
         super().free()
         self.opt_state.free()

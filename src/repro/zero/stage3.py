@@ -269,6 +269,11 @@ class ZeroStage3Engine(BaseEngine):
         self.param_shard.data = self.opt_state.master.data.astype(self.model.dtype)
         return True
 
+    def checkpoint_partition(self) -> tuple[int, int]:
+        """This rank's 1/Nd partition — covers opt state *and* the fp16
+        parameter shard (for checkpoint_io save/re-shard)."""
+        return self.part_lo, self.part_hi
+
     def free(self) -> None:
         super().free()
         self.opt_state.free()

@@ -1,12 +1,72 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Also home of the deadlock guard: the fabric's whole point is that
+failures raise instead of hanging, so a regression that reintroduces a
+deadlock must *fail* the suite, not stall it. Every test runs under a
+SIGALRM-based timeout (a pytest-timeout analog — that plugin isn't
+available offline): generous by default, short for ``faults``-marked
+tests, overridable per test with ``@pytest.mark.timeout_guard(seconds)``.
+"""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import numpy as np
 import pytest
 
 from repro.hardware.specs import GPUSpec
 from repro.nn.transformer import GPTConfig
+
+# Per-test wall-clock budgets for the deadlock guard (seconds).
+GUARD_TIMEOUT_S = 300.0
+FAULTS_GUARD_TIMEOUT_S = 90.0
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "faults: fault-injection / elastic-recovery tests (short deadlock-guard "
+        "timeout; these tests use short fabric timeouts so failures stay fast)",
+    )
+    config.addinivalue_line(
+        "markers",
+        "timeout_guard(seconds): override the per-test deadlock-guard timeout",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    override = item.get_closest_marker("timeout_guard")
+    if override is not None:
+        seconds = float(override.args[0])
+    elif item.get_closest_marker("faults") is not None:
+        seconds = FAULTS_GUARD_TIMEOUT_S
+    else:
+        seconds = GUARD_TIMEOUT_S
+    # SIGALRM only works on the main thread of a Unix process; elsewhere
+    # (or under xdist-style workers) run unguarded rather than break.
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return (yield)
+
+    def _on_alarm(signum, frame):
+        pytest.fail(
+            f"deadlock guard: test still running after {seconds:.0f}s — "
+            "a fabric failure path is hanging instead of raising",
+            pytrace=True,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 # A small simulated GPU so tests exercise real capacity limits fast.
 TEST_GPU = GPUSpec(name="test-gpu", memory_bytes=2 * 10**9, peak_flops=1e12)

@@ -88,10 +88,72 @@ def test_p2p_messages_ordered_per_tag():
     assert cluster.run(fn)[1] == [0, 1, 2]
 
 
+def test_collective_tag_mismatch_raises_not_hangs():
+    """Two ranks issuing collectives with different tags (same op, different
+    shapes) must raise within the timeout, not deadlock."""
+    cluster = make_cluster(2, timeout_s=5.0)
+
+    def fn(ctx):
+        if ctx.rank == 0:
+            ctx.world.all_reduce(ctx.rank, np.ones(4, np.float32))
+        else:
+            ctx.world.all_reduce(ctx.rank, np.ones(8, np.float32))
+
+    with pytest.raises((CollectiveMismatchError, FabricAbortedError)):
+        cluster.run(fn)
+
+
+@pytest.mark.faults
+def test_wrong_group_shape_raises_not_hangs():
+    """A rank issuing a collective on the wrong group (subgroup vs world)
+    leaves the world rendezvous short-handed; the timeout must abort every
+    rank instead of hanging."""
+    cluster = make_cluster(4, timeout_s=1.0)
+
+    def fn(ctx):
+        if ctx.rank in (0, 1):
+            group = ctx.group([0, 1])
+            return group.all_reduce(ctx.rank, np.ones(2, np.float32))[0]
+        # Ranks 2-3 wrongly expect the whole world to participate.
+        return ctx.world.all_reduce(ctx.rank, np.ones(2, np.float32))[0]
+
+    with pytest.raises(FabricAbortedError):
+        cluster.run(fn)
+
+
 def test_recv_timeout_raises():
     fabric = Fabric(2, timeout_s=0.1)
     with pytest.raises(FabricAbortedError, match="timed out"):
         fabric.recv(src=0, dst=1, tag=0)
+
+
+def test_recv_timeout_aborts_whole_fabric():
+    """A recv timeout means the sender is gone: the fabric must be aborted
+    so peers blocked in rendezvous fail fast instead of waiting out their
+    own timeout."""
+    fabric = Fabric(2, timeout_s=0.1)
+    with pytest.raises(FabricAbortedError):
+        fabric.recv(src=0, dst=1, tag=0)
+    rv = fabric.rendezvous_for((0, 1))
+    with pytest.raises(FabricAbortedError):  # aborted: raises without waiting
+        rv.exchange(0, None, "barrier")
+
+
+@pytest.mark.faults
+def test_recv_timeout_releases_peer_in_collective():
+    """In-cluster version: rank 1's recv times out (no sender), and rank 0 —
+    blocked in an all_reduce — is released by the abort rather than by its
+    own timeout."""
+    cluster = make_cluster(2, timeout_s=1.0)
+
+    def fn(ctx):
+        if ctx.rank == 0:
+            ctx.world.all_reduce(ctx.rank, np.ones(2, np.float32))
+        else:
+            ctx.world.recv(1, src=0, tag=9)  # nothing was ever sent
+
+    with pytest.raises(FabricAbortedError):
+        cluster.run(fn)
 
 
 def test_subgroups_share_state_across_ranks():

@@ -1,0 +1,228 @@
+"""Fault injection: transient retry w/ backoff, escalation, kills, p2p faults.
+
+All tests use short fabric timeouts and run under the conftest deadlock
+guard — a fault path that hangs instead of raising fails the suite.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.comm.fabric import FabricAbortedError
+from repro.comm.faults import (
+    FaultPlan,
+    RankKilledError,
+    RetryPolicy,
+    TransientCollectiveFault,
+)
+from repro.hardware.specs import GPUSpec
+from repro.runtime import Cluster
+
+pytestmark = pytest.mark.faults
+
+GPU = GPUSpec("t", 10**8, 1e12)
+FAST_RETRY = RetryPolicy(max_attempts=5, base_backoff_s=0.001, max_backoff_s=0.01)
+
+
+def make_cluster(n=2, *, plan=None, retry=FAST_RETRY, timeout_s=5.0):
+    return Cluster(n, gpu=GPU, timeout_s=timeout_s, fault_plan=plan, retry_policy=retry)
+
+
+# -- transient faults --------------------------------------------------------
+
+
+def test_transient_fault_retried_result_identical():
+    """Two injected transient failures are retried with backoff; the result
+    is bitwise identical to a fault-free run and every retry is in the
+    ledger."""
+
+    def fn(ctx):
+        return ctx.world.all_reduce(ctx.rank, np.full(4, ctx.rank + 1.0, np.float32))
+
+    clean = make_cluster(2).run(fn)
+
+    plan = FaultPlan().fail_collective(rank=1, op="all_reduce", times=2)
+    cluster = make_cluster(2, plan=plan)
+    faulty = cluster.run(fn)
+
+    for r in range(2):
+        np.testing.assert_array_equal(clean[r], faulty[r])
+    retries = cluster.ledgers[1].retries
+    assert [e.attempt for e in retries] == [1, 2]
+    assert all(e.op == "all_reduce" and not e.gave_up for e in retries)
+    assert retries[0].backoff_s > 0
+    assert cluster.ledgers[0].retries == []
+    # Volume accounting is unaffected: the collective is recorded once.
+    assert len([e for e in cluster.ledgers[1].events if e.op == "all_reduce"]) == 1
+
+
+def test_transient_backoff_is_exponential():
+    plan = FaultPlan().fail_collective(rank=0, times=3)
+    policy = RetryPolicy(max_attempts=5, base_backoff_s=0.004, max_backoff_s=1.0)
+    cluster = make_cluster(2, plan=plan, retry=policy)
+    cluster.run(lambda ctx: ctx.world.all_reduce(ctx.rank, np.ones(2, np.float32)))
+    backoffs = [e.backoff_s for e in cluster.ledgers[0].retries]
+    assert backoffs == [0.004, 0.008, 0.016]
+
+
+def test_transient_fault_escalates_on_all_ranks():
+    """A fault outlasting the retry budget aborts the fabric: every rank
+    raises promptly, and the abandoned attempt is ledgered as gave_up."""
+    plan = FaultPlan().fail_collective(rank=1, op="all_reduce", times=50)
+    policy = RetryPolicy(max_attempts=2, base_backoff_s=0.001)
+    cluster = make_cluster(2, plan=plan, retry=policy, timeout_s=5.0)
+
+    t0 = time.monotonic()
+    with pytest.raises(FabricAbortedError, match="failed permanently"):
+        cluster.run(lambda ctx: ctx.world.all_reduce(ctx.rank, np.ones(2, np.float32)))
+    assert time.monotonic() - t0 < 4.0  # released by abort, not timeout
+    last = cluster.ledgers[1].retries[-1]
+    assert last.gave_up and last.attempt == 2
+
+
+def test_collective_deadline_escalates():
+    """A per-collective deadline bounds total retry time even when the
+    attempt budget would allow more."""
+    plan = FaultPlan().fail_collective(rank=0, times=50)
+    policy = RetryPolicy(
+        max_attempts=10_000, base_backoff_s=0.05, backoff_multiplier=1.0,
+        max_backoff_s=0.05, deadline_s=0.2,
+    )
+    cluster = make_cluster(2, plan=plan, retry=policy)
+    t0 = time.monotonic()
+    with pytest.raises(FabricAbortedError, match="failed permanently"):
+        cluster.run(lambda ctx: ctx.world.all_reduce(ctx.rank, np.ones(2, np.float32)))
+    assert time.monotonic() - t0 < 2.0
+
+
+def test_random_transients_deterministic_across_runs():
+    """Seeded random injection produces the identical fault sequence on
+    repeated runs, regardless of thread interleaving."""
+
+    def fn(ctx):
+        for _ in range(10):
+            ctx.world.all_reduce(ctx.rank, np.ones(2, np.float32))
+        return True
+
+    def trace(seed):
+        plan = FaultPlan(seed=seed).fail_randomly(prob=0.3, max_faults=6)
+        cluster = make_cluster(2, plan=plan)
+        assert cluster.run(fn) == [True, True]
+        return [
+            [(e.op, e.attempt) for e in cluster.ledgers[r].retries] for r in range(2)
+        ]
+
+    first, second = trace(seed=11), trace(seed=11)
+    assert first == second
+    assert sum(len(t) for t in first) > 0  # the plan actually injected faults
+    assert trace(seed=12) != first  # and the seed matters
+
+
+# -- permanent kills ---------------------------------------------------------
+
+
+def test_kill_after_collectives_aborts_world():
+    plan = FaultPlan().kill_rank(2, after_collectives=3)
+    cluster = make_cluster(4, plan=plan)
+
+    def fn(ctx):
+        for _ in range(10):
+            ctx.world.all_reduce(ctx.rank, np.ones(2, np.float32))
+
+    with pytest.raises(RankKilledError, match="rank 2"):
+        cluster.run(fn)
+    assert plan.killed_ranks == [2]
+    assert any(e.kind == "kill" for e in plan.events)
+
+
+def test_kill_rule_fires_once():
+    """A consumed kill rule must not re-fire on a restarted world."""
+    plan = FaultPlan().kill_rank(0, after_collectives=1)
+
+    def fn(ctx):
+        for _ in range(3):
+            ctx.world.all_reduce(ctx.rank, np.ones(2, np.float32))
+        return True
+
+    with pytest.raises(RankKilledError):
+        make_cluster(2, plan=plan).run(fn)
+    # Same plan, fresh cluster: the rule is spent, the run completes.
+    assert make_cluster(2, plan=plan).run(fn) == [True, True]
+    assert plan.killed_ranks == [0]
+
+
+# -- point-to-point faults ---------------------------------------------------
+
+
+def test_dropped_send_aborts_all_ranks_fast():
+    """A dropped message times out the receiver, which aborts the fabric so
+    the sender (blocked in a later collective) fails fast too."""
+    plan = FaultPlan().drop_send(src=0, dst=1)
+    cluster = make_cluster(2, plan=plan, timeout_s=0.4)
+
+    def fn(ctx):
+        if ctx.rank == 0:
+            ctx.world.send(0, dst=1, array=np.ones(3, np.float32), tag=1)
+            ctx.world.barrier(0)
+        else:
+            ctx.world.recv(1, src=0, tag=1)
+            ctx.world.barrier(1)
+
+    t0 = time.monotonic()
+    with pytest.raises(FabricAbortedError):
+        cluster.run(fn)
+    # One recv timeout (0.4 s) releases everyone; nobody waits out a second.
+    assert time.monotonic() - t0 < 2.0
+    assert any(e.kind == "drop_send" for e in plan.events)
+
+
+def test_delayed_send_still_delivers():
+    plan = FaultPlan().delay_send(src=0, dst=1, delay_s=0.15)
+    cluster = make_cluster(2, plan=plan, timeout_s=5.0)
+
+    def fn(ctx):
+        if ctx.rank == 0:
+            ctx.world.send(0, dst=1, array=np.arange(4, dtype=np.float32), tag=3)
+            return None
+        return ctx.world.recv(1, src=0, tag=3)
+
+    t0 = time.monotonic()
+    out = cluster.run(fn)
+    assert time.monotonic() - t0 >= 0.15
+    np.testing.assert_array_equal(out[1], np.arange(4, dtype=np.float32))
+    assert any(e.kind == "delay_send" for e in plan.events)
+
+
+# -- plan construction -------------------------------------------------------
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError, match="exactly one"):
+        FaultPlan().kill_rank(0)
+    with pytest.raises(ValueError, match="exactly one"):
+        FaultPlan().kill_rank(0, at_step=1, after_collectives=1)
+    with pytest.raises(ValueError):
+        FaultPlan().fail_collective(nth=0)
+    with pytest.raises(ValueError):
+        FaultPlan().fail_randomly(prob=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan().delay_send(src=0, delay_s=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+
+
+def test_no_plan_means_no_overhead_paths():
+    """Without a plan the fault gates are skipped entirely — the default
+    configuration behaves exactly as before this subsystem existed."""
+    cluster = make_cluster(2, plan=None)
+    out = cluster.run(lambda ctx: ctx.world.all_reduce(ctx.rank, np.ones(2, np.float32)))
+    np.testing.assert_array_equal(out[0], np.full(2, 2.0, np.float32))
+    assert cluster.ledgers[0].retries == []
+
+
+def test_transient_fault_exception_direct():
+    plan = FaultPlan().fail_collective(rank=0, op="all_gather")
+    with pytest.raises(TransientCollectiveFault):
+        plan.on_collective(0, "all_gather", (0, 1))
+    plan.on_collective(0, "all_gather", (0, 1))  # consumed: passes now
