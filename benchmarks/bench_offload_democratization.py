@@ -1,0 +1,18 @@
+"""ZeRO-Offload: max trainable model vs device budget + cost-model accuracy."""
+
+import pytest
+
+from repro.experiments import offload_sweep
+
+pytestmark = pytest.mark.offload
+
+
+def test_offload_democratization(benchmark, record_table):
+    result = benchmark(offload_sweep.run)
+    record_table(offload_sweep.render(result))
+    # Offload must strictly enlarge the max trainable model at every budget.
+    for row in result.fit_rows:
+        assert row.offload_psi_b > row.device_psi_b, row
+    # The closed-form step-time model must track the simulated timeline.
+    for row in result.time_rows:
+        assert row.rel_err <= 0.05, row

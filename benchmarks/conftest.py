@@ -26,3 +26,17 @@ def record_table(request):
         print(f"\n{text}\n")
 
     return _record
+
+
+@pytest.fixture(scope="session", autouse=True)
+def offload_sweep_smoke():
+    """Cheap guard that the offload democratization sweep stays runnable.
+
+    Any benchmark session exercises one fit point, so the sweep behind
+    ``bench_offload_democratization.py`` cannot silently rot even when the
+    offload benchmark itself is deselected.
+    """
+    from repro.experiments.offload_sweep import run_fit
+
+    rows = run_fit(budgets_gb=(8,))
+    assert rows and rows[0].offload_psi_b > rows[0].device_psi_b

@@ -52,6 +52,8 @@ def device_bytes_for(
         partition_activations=zero.partition_activations,
         cpu_offload=zero.cpu_offload_activations,
         constant_buffers=zero.constant_buffers,
+        offload_optimizer=zero.offload_optimizer,
+        offload_gradients=zero.offload_gradients,
     )
 
 

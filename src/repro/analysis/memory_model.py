@@ -27,19 +27,64 @@ PARAM_BYTES = 2
 GRAD_BYTES = 2
 
 
-def model_state_bytes(psi: float, nd: int = 1, stage: int = 0, k: int = ADAM_K) -> float:
-    """Per-device model-state bytes for a Psi-parameter model (Figure 1)."""
+def model_state_bytes(
+    psi: float,
+    nd: int = 1,
+    stage: int = 0,
+    k: int = ADAM_K,
+    *,
+    offload_optimizer: bool = False,
+    offload_gradients: bool = False,
+) -> float:
+    """Per-device model-state bytes for a Psi-parameter model (Figure 1).
+
+    ZeRO-Offload placement flags remove host-resident terms from the
+    device: ``offload_optimizer`` drops the K Psi / Nd optimizer partition
+    (stages 1-3), ``offload_gradients`` additionally drops the 2 Psi / Nd
+    gradient shard (stages 2-3). ``host_state_bytes`` returns what moved.
+    """
     if psi < 0 or nd < 1:
         raise ValueError(f"need psi >= 0 and nd >= 1, got psi={psi}, nd={nd}")
+    if offload_optimizer and stage < 1:
+        raise ValueError("offload_optimizer requires stage >= 1")
+    if offload_gradients and (stage < 2 or not offload_optimizer):
+        raise ValueError("offload_gradients requires offload_optimizer and stage >= 2")
+    opt_shard = 0.0 if offload_optimizer else k * psi / nd
+    grad_shard = 0.0 if offload_gradients else GRAD_BYTES * psi / nd
     if stage == 0:
         return (PARAM_BYTES + GRAD_BYTES + k) * psi
     if stage == 1:
-        return (PARAM_BYTES + GRAD_BYTES) * psi + k * psi / nd
+        return (PARAM_BYTES + GRAD_BYTES) * psi + opt_shard
     if stage == 2:
-        return PARAM_BYTES * psi + (GRAD_BYTES + k) * psi / nd
+        return PARAM_BYTES * psi + grad_shard + opt_shard
     if stage == 3:
-        return (PARAM_BYTES + GRAD_BYTES + k) * psi / nd
+        return PARAM_BYTES * psi / nd + grad_shard + opt_shard
     raise ValueError(f"stage must be 0-3, got {stage}")
+
+
+def host_state_bytes(
+    psi: float,
+    nd: int = 1,
+    stage: int = 0,
+    k: int = ADAM_K,
+    *,
+    offload_optimizer: bool = False,
+    offload_gradients: bool = False,
+) -> float:
+    """Per-rank host DRAM taken by offloaded model states — exactly the
+    terms ``model_state_bytes`` dropped from the device."""
+    if psi < 0 or nd < 1:
+        raise ValueError(f"need psi >= 0 and nd >= 1, got psi={psi}, nd={nd}")
+    if offload_optimizer and stage < 1:
+        raise ValueError("offload_optimizer requires stage >= 1")
+    if offload_gradients and (stage < 2 or not offload_optimizer):
+        raise ValueError("offload_gradients requires offload_optimizer and stage >= 2")
+    total = 0.0
+    if offload_optimizer:
+        total += k * psi / nd
+    if offload_gradients:
+        total += GRAD_BYTES * psi / nd
+    return total
 
 
 def max_model_params(memory_bytes: float, nd: int = 1, stage: int = 0, k: int = ADAM_K) -> float:
@@ -144,6 +189,8 @@ def total_device_bytes(
     partition_activations: bool = False,
     cpu_offload: bool = False,
     constant_buffers: bool = True,
+    offload_optimizer: bool = False,
+    offload_gradients: bool = False,
     k: int = ADAM_K,
 ) -> float:
     """End-to-end per-GPU memory: model states (split by MP) + activations
@@ -151,13 +198,23 @@ def total_device_bytes(
     the per-rank states across the DP group (the Nd x Nm compounding of
     Section 1)."""
     psi_local = psi / mp_degree
-    states = model_state_bytes(psi_local, nd, stage, k)
+    states = model_state_bytes(
+        psi_local, nd, stage, k,
+        offload_optimizer=offload_optimizer, offload_gradients=offload_gradients,
+    )
     acts = activation.iteration_bytes(
         checkpointing=checkpointing,
         partition_activations=partition_activations,
         cpu_offload=cpu_offload,
     )
-    buffers = temporary_buffer_bytes(psi_local, constant_buffers=constant_buffers)
+    if offload_optimizer and not constant_buffers:
+        # The fp32 update runs host-side, so the transient full-model
+        # fused buffer is never allocated on the device. (With CB the
+        # persistent constant buffer is still charged — engines allocate
+        # it unconditionally.)
+        buffers = 0.0
+    else:
+        buffers = temporary_buffer_bytes(psi_local, constant_buffers=constant_buffers)
     return states + acts + buffers
 
 

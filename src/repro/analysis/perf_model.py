@@ -30,8 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.comm.costmodel import PCIE_3_X16
-from repro.hardware.specs import DGX2, NodeSpec
+from repro.hardware.specs import DGX2, PCIE_3_X16, NodeSpec
 from repro.nn.transformer import GPTConfig
 from repro.utils.units import TFLOP
 

@@ -15,22 +15,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.comm.ledger import CommEvent
-from repro.hardware.specs import InterconnectSpec
+from repro.hardware.specs import PCIE_3_X16, InterconnectSpec
 from repro.hardware.topology import ClusterTopology
-
-PCIE_3_X16 = InterconnectSpec(name="PCIe-3.0-x16", bandwidth_bytes_per_s=12e9, latency_s=1e-5)
 
 
 @dataclass
 class CommCostModel:
-    """Maps CommEvents to seconds over a concrete topology."""
+    """Maps CommEvents to seconds over a concrete topology.
+
+    ``pcie`` defaults to the topology's node spec (hardware truth); pass a
+    spec explicitly only to model a different host link.
+    """
 
     topology: ClusterTopology
-    pcie: InterconnectSpec = PCIE_3_X16
+    pcie: InterconnectSpec | None = None
+
+    @property
+    def pcie_link(self) -> InterconnectSpec:
+        return self.pcie if self.pcie is not None else self.topology.node.pcie
 
     def event_time(self, event: CommEvent) -> float:
         if event.op in ("h2d", "d2h"):
-            return self.pcie.latency_s + event.message_bytes / self.pcie.bandwidth_bytes_per_s
+            link = self.pcie_link
+            return link.latency_s + event.message_bytes / link.bandwidth_bytes_per_s
         if event.op == "barrier":
             link = self.topology.link_for_group(event.group_ranks)
             return link.latency_s * max(event.group_size - 1, 0)

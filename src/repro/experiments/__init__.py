@@ -5,15 +5,15 @@ render(data) -> str, and main() for CLI use:
     python -m repro.experiments.table1
     ...
 
-Modules: fig1-fig8, sec7, sec8, table1, table2. See DESIGN.md's
-per-experiment index for what each reproduces. Submodules are imported
-lazily (import repro.experiments.fig2 directly) to keep `python -m`
-invocations clean.
+Modules: fig1-fig8, sec7, sec8, table1, table2, offload_sweep. See
+DESIGN.md's per-experiment index for what each reproduces. Submodules are
+imported lazily (import repro.experiments.fig2 directly) to keep
+`python -m` invocations clean.
 """
 
 __all__ = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "sec7", "sec8", "sec9", "table1", "table2",
+    "offload_sweep", "sec7", "sec8", "sec9", "table1", "table2",
 ]
 
 

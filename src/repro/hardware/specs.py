@@ -9,13 +9,17 @@ Numbers come straight from the paper's evaluation section (Section 10):
   drops to 12.5 GB/s per link (InfiniBand EDR) — Section 10.2.
 * A DGX-2 node holds 16 GPUs; the cluster has 800 Gbps (= 100 GB/s)
   inter-node bandwidth per node.
+* Each V100 hangs off the host over PCIe gen3 x16 (~12 GB/s effective,
+  "whose bandwidth is severely constrained", Section 2.2.2) and a DGX-2
+  carries 1.5 TB of host DRAM — the substrate for Pa+cpu activation
+  offload and the ``repro.offload`` model-state offload engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.utils.units import GB, TFLOP
+from repro.utils.units import GB, TB, TFLOP
 
 
 @dataclass(frozen=True)
@@ -44,17 +48,6 @@ class InterconnectSpec:
     latency_s: float
 
 
-@dataclass(frozen=True)
-class NodeSpec:
-    """A multi-GPU server (DGX-2: 16 V100s on an NVSwitch fabric)."""
-
-    name: str
-    gpus_per_node: int
-    gpu: GPUSpec
-    intra_node: InterconnectSpec
-    inter_node: InterconnectSpec
-
-
 V100_32GB = GPUSpec(name="V100-SXM3-32GB", memory_bytes=32 * int(GB), peak_flops=125 * TFLOP)
 
 NVSWITCH = InterconnectSpec(
@@ -65,10 +58,37 @@ INFINIBAND_EDR = InterconnectSpec(
     name="InfiniBand-EDR", bandwidth_bytes_per_s=12.5 * GB, latency_s=8e-6
 )
 
+# Host link: PCIe gen3 x16 is ~16 GB/s theoretical; 12 GB/s is the
+# sustained figure large pinned-memory copies actually reach.
+PCIE_3_X16 = InterconnectSpec(
+    name="PCIe-3.0-x16", bandwidth_bytes_per_s=12 * GB, latency_s=1e-5
+)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A multi-GPU server (DGX-2: 16 V100s on an NVSwitch fabric).
+
+    ``pcie`` is the per-GPU host link and ``host_memory_bytes`` the node's
+    DRAM pool — both feed the offload stream and cost model so they read
+    hardware truth rather than scattered constants.
+    """
+
+    name: str
+    gpus_per_node: int
+    gpu: GPUSpec
+    intra_node: InterconnectSpec
+    inter_node: InterconnectSpec
+    pcie: InterconnectSpec = PCIE_3_X16
+    host_memory_bytes: int = int(1.5 * TB)
+
+
 DGX2 = NodeSpec(
     name="DGX-2",
     gpus_per_node=16,
     gpu=V100_32GB,
     intra_node=NVSWITCH,
     inter_node=INFINIBAND_EDR,
+    pcie=PCIE_3_X16,
+    host_memory_bytes=int(1.5 * TB),
 )

@@ -44,6 +44,23 @@ class ClusterTopology:
         n_nodes = -(-world_size // node.gpus_per_node)  # ceil division
         return cls(node=node, n_nodes=n_nodes, world_size=world_size)
 
+    @property
+    def pcie(self) -> InterconnectSpec:
+        """The host link one GPU sees (offload stream / Pa+cpu traffic)."""
+        return self.node.pcie
+
+    @property
+    def host_bytes_per_gpu(self) -> int:
+        """Fair share of the node's DRAM per resident GPU — the budget the
+        offload cost model charges host-resident model states against."""
+        return self.node.host_memory_bytes // self.node.gpus_per_node
+
+    def host_bytes_of_node(self, node_index: int) -> int:
+        """Total DRAM of one node (all its ranks share the pool)."""
+        if not 0 <= node_index < self.n_nodes:
+            raise ValueError(f"node {node_index} out of range [0, {self.n_nodes})")
+        return self.node.host_memory_bytes
+
     def node_of(self, rank: int) -> int:
         """Node index hosting a global rank."""
         self._check_rank(rank)

@@ -127,38 +127,74 @@ class Device:
 
 
 class HostMemory:
-    """CPU-side memory pool for activation offload (Pa+cpu).
+    """CPU-side memory pool for activation (Pa+cpu) and model-state offload.
 
-    Capacity defaults to 1.5 TB (a DGX-2's host RAM); the simulation only
-    needs byte accounting, so the allocator is a plain counter.
+    Capacity defaults to a DGX-2's 1.5 TB host DRAM. The simulation only
+    needs byte accounting, so the allocator is a plain counter — but the
+    stats surface mirrors ``Device`` (current/peak bytes, allocation
+    counts, capacity, OOM on overflow) so offload *placement* is as
+    auditable as device residency: every byte the offload engine parks on
+    the host shows up here, and overflowing the pool fails loudly instead
+    of silently pretending the host is infinite.
     """
 
-    def __init__(self, capacity: int = int(1.5e12)):
+    def __init__(self, capacity: int = int(1.5e12), *, name: str = "host"):
+        if capacity <= 0:
+            raise ValueError(f"host capacity must be positive, got {capacity}")
         self.capacity = capacity
+        self.name = name
         self.allocated_bytes = 0
         self.max_allocated_bytes = 0
+        self.alloc_count = 0
+        self.free_count = 0
         self._live: dict[int, int] = {}
         self._next_handle = 1
+
+    # -- accounting (Device-parity surface) ---------------------------------
+
+    @property
+    def reserved_bytes(self) -> int:
+        """No caching layer on the host pool: reserved == allocated."""
+        return self.allocated_bytes
+
+    @property
+    def max_reserved_bytes(self) -> int:
+        return self.max_allocated_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.allocated_bytes
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    def reset_peak_stats(self) -> None:
+        self.max_allocated_bytes = self.allocated_bytes
+
+    # -- allocation ---------------------------------------------------------
 
     def alloc(self, size: int, tag: str = "") -> int:
         if size <= 0:
             raise ValueError(f"allocation size must be positive, got {size}")
         if self.allocated_bytes + size > self.capacity:
             raise OutOfMemoryError(
-                size, self.capacity - self.allocated_bytes, 0, device="host"
+                size, self.capacity - self.allocated_bytes, 0, device=self.name
             )
         handle = self._next_handle
         self._next_handle += 1
         self._live[handle] = size
         self.allocated_bytes += size
+        self.alloc_count += 1
         self.max_allocated_bytes = max(self.max_allocated_bytes, self.allocated_bytes)
         return handle
 
     def free(self, handle: int) -> None:
         size = self._live.pop(handle, None)
         if size is None:
-            raise InvalidFreeError(f"host: handle {handle} is not live (double free?)")
+            raise InvalidFreeError(f"{self.name}: handle {handle} is not live (double free?)")
         self.allocated_bytes -= size
+        self.free_count += 1
 
 
 @dataclass

@@ -1,0 +1,112 @@
+"""Simulated PCIe transfer stream with async copy handles.
+
+The offload engine's whole performance story is *overlap*: gradient
+device->host copies ride the PCIe link while backward compute is still
+producing later gradients, and (under delayed parameter update) the
+host->device parameter refresh rides it while the next forward runs. The
+stream models that with two independent lanes — PCIe is full duplex, so
+d2h and h2d traffic do not contend — each serializing its own transfers
+under the alpha-beta cost of the configured link
+(``hardware.specs.NodeSpec.pcie`` by default).
+
+Time here is *within-step model time*: callers submit copies with an
+explicit ``submit_t`` on a per-step clock that starts at 0 when the step's
+forward begins. The stream assigns each transfer ``start = max(submit,
+lane_free)`` and ``done = start + alpha + bytes/beta``, so a batch of
+handles replayed through the stream yields the step's transfer timeline —
+the "simulated timeline" the offload cost model is validated against.
+Every copy is also recorded in the rank's CommLedger (op ``d2h``/``h2d``),
+so ledger-driven estimators and the paper's volume accounting see offload
+traffic exactly like Pa+cpu traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.ledger import CommLedger
+from repro.hardware.specs import PCIE_3_X16, InterconnectSpec
+
+_DIRECTIONS = ("d2h", "h2d")
+
+
+@dataclass
+class TransferHandle:
+    """One async copy: submitted, scheduled onto a lane, completed at ``done_t``."""
+
+    direction: str
+    nbytes: int
+    submit_t: float
+    start_t: float
+    done_t: float
+    phase: str = ""
+    synchronized: bool = False
+
+    @property
+    def wire_s(self) -> float:
+        """Seconds the copy occupies the lane (latency + serialization)."""
+        return self.done_t - self.start_t
+
+    @property
+    def queued_s(self) -> float:
+        """Seconds the copy waited behind earlier traffic on its lane."""
+        return self.start_t - self.submit_t
+
+
+class PCIeStream:
+    """Per-rank full-duplex PCIe lane pair with async handle semantics."""
+
+    def __init__(
+        self,
+        link: InterconnectSpec = PCIE_3_X16,
+        *,
+        ledger: CommLedger | None = None,
+        rank: int = 0,
+    ):
+        self.link = link
+        self.ledger = ledger
+        self.rank = rank
+        self._lane_free = {d: 0.0 for d in _DIRECTIONS}
+        self.handles: list[TransferHandle] = []
+
+    def reset(self) -> None:
+        """Start a fresh step timeline (t = 0 at forward begin)."""
+        self._lane_free = {d: 0.0 for d in _DIRECTIONS}
+        self.handles.clear()
+
+    def copy_async(
+        self, nbytes: int, direction: str, *, submit_t: float = 0.0, phase: str = ""
+    ) -> TransferHandle:
+        """Enqueue a copy; returns immediately with its scheduled times."""
+        if direction not in _DIRECTIONS:
+            raise ValueError(f"direction must be one of {_DIRECTIONS}, got {direction!r}")
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        start = max(float(submit_t), self._lane_free[direction])
+        done = start + self.link.latency_s + nbytes / self.link.bandwidth_bytes_per_s
+        self._lane_free[direction] = done
+        if self.ledger is not None and nbytes > 0:
+            self.ledger.record(direction, nbytes, (self.rank,), phase)
+        handle = TransferHandle(
+            direction=direction, nbytes=int(nbytes),
+            submit_t=float(submit_t), start_t=start, done_t=done, phase=phase,
+        )
+        self.handles.append(handle)
+        return handle
+
+    def synchronize(self, handles: list[TransferHandle] | None = None, *, at: float = 0.0) -> float:
+        """Wait for ``handles`` (default: everything submitted this step)
+        starting from model time ``at``; returns the time all are done."""
+        targets = self.handles if handles is None else handles
+        t = float(at)
+        for h in targets:
+            h.synchronized = True
+            t = max(t, h.done_t)
+        return t
+
+    def lane_busy_s(self, direction: str) -> float:
+        """Total seconds this step's transfers occupy one lane."""
+        return sum(h.wire_s for h in self.handles if h.direction == direction)
+
+    def lane_free_t(self, direction: str) -> float:
+        return self._lane_free[direction]

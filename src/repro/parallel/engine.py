@@ -60,6 +60,11 @@ class EngineConfig:
     # partition norm^2, summed across the DP group, sqrt — then every rank
     # applies the identical scale factor.
     grad_clip_norm: float | None = None
+    # Optional repro.offload.OffloadConfig: host-resident optimizer state
+    # (and optionally gradients) with a modeled PCIe transfer timeline.
+    # Only the partitioned engines (ZeRO stages 1-3) support it; the
+    # factory threads it through from ZeROConfig's offload_* flags.
+    offload: "OffloadConfig | None" = None
 
 
 @dataclass
@@ -74,6 +79,9 @@ class BaseEngine:
     """Common step orchestration; subclasses implement reduction + update."""
 
     name = "base"
+    #: ZeRO-Offload needs a partitioned optimizer (a ``part_numel`` range
+    #: to ship host-side); stages 1-3 flip this on.
+    supports_offload = False
 
     def __init__(
         self,
@@ -122,6 +130,19 @@ class BaseEngine:
                 data=None if self.is_meta else np.zeros(self.config.fused_buffer_numel, np.float32),
                 device=ctx.device, tag="cb-fused-buffer",
             )
+        # ZeRO-Offload companion: owns the PCIe stream and the per-step
+        # transfer/step-time model. Placement changes live in the ZeRO
+        # engines; this base only drives the step clock.
+        self.offload = None
+        if self.config.offload is not None:
+            if not self.supports_offload:
+                raise ValueError(
+                    f"engine {self.name!r} does not support offload "
+                    "(requires a partitioned optimizer, ZeRO stage >= 1)"
+                )
+            from repro.offload.engine import OffloadRuntime
+
+            self.offload = OffloadRuntime(ctx, self.config.offload, model.config)
 
     # -- fused working buffer ------------------------------------------------
 
@@ -168,6 +189,8 @@ class BaseEngine:
             tgt_t = Tensor.from_numpy(np.asarray(targets), device=self.ctx.device, tag="batch.targets")
             free_inputs.append(tgt_t)
         ctx = ExecutionContext(training=True)
+        if self.offload is not None:
+            self.offload.begin_micro(ids_t.shape[0], ids_t.shape[-1])
 
         self._mark("forward")
         self._before_forward()
@@ -186,18 +209,25 @@ class BaseEngine:
         loss.free_if_alive()
 
         applied = False
+        step_time_s = 0.0
         if boundary:
             self._mark("reduce")
             self._reduce_gradients()
             self._mark("optimizer")
             applied = self._optimizer_step()
+            if self.offload is not None:
+                self._offload_finish(applied)
+                step_time_s = self.offload.reports[-1].step_s
             self._release_gradients()
         else:
             self._mark("reduce")
             self._micro_reduce()
         for t in free_inputs:
             t.free_if_alive()
-        return StepResult(loss=loss_value, applied=applied, is_boundary=boundary)
+        return StepResult(
+            loss=loss_value, applied=applied, is_boundary=boundary,
+            step_time_model_s=step_time_s,
+        )
 
     # -- hooks -------------------------------------------------------------------
 
@@ -271,6 +301,25 @@ class BaseEngine:
 
     def _optimizer_step(self) -> bool:
         raise NotImplementedError
+
+    def _offload_finish(self, applied: bool) -> None:
+        """Close the offload runtime's step clock at an optimizer boundary.
+
+        Uses the engine's ``part_numel`` partition (hence offload requires
+        a partitioned engine): the host Adam covers those elements, the
+        fp16 refresh ships that many parameter bytes back, and — when
+        gradients stayed device-resident — the shard goes host-side in one
+        boundary d2h. An overflow-skip step (``applied`` False) moves no
+        optimizer bytes; its gradients already crossed the link.
+        """
+        cfg = self.offload.config
+        itemsize = np.dtype(self.model.dtype).itemsize
+        shard_bytes = self.part_numel * itemsize
+        self.offload.finish_step(
+            adam_numel=self.part_numel if applied else 0,
+            param_h2d_bytes=shard_bytes if applied else 0,
+            boundary_grad_bytes=0 if cfg.offload_gradients else shard_bytes,
+        )
 
     def _release_gradients(self) -> None:
         self.model.zero_grad()

@@ -103,14 +103,15 @@ def virtual_rank_context(
     ledger = CommLedger(rank=rank)
     world.attach_ledger(rank, ledger)
     fabric = Fabric(1)
+    topo = topology or ClusterTopology.for_world_size(world_size)
     return RankContext(
         rank=rank,
         world_size=world_size,
         world=world,  # type: ignore[arg-type]
         device=Device(gpu, index=rank),
-        host=HostMemory(),
+        host=HostMemory(topo.node.host_memory_bytes),
         ledger=ledger,
-        topology=topology or ClusterTopology.for_world_size(world_size),
+        topology=topo,
         fabric=fabric,
     )
 
@@ -141,7 +142,9 @@ class Cluster:
         )
         self.fabric.group_registry = _GroupRegistry(self.fabric)  # type: ignore[attr-defined]
         self.devices = [Device(gpu, index=i) for i in range(world_size)]
-        self.host = host or HostMemory()
+        # One shared host pool per cluster, sized to a single node's DRAM
+        # (the simulated worlds here fit one node's worth of ranks).
+        self.host = host or HostMemory(self.topology.node.host_memory_bytes)
         self.ledgers = [CommLedger(rank=i) for i in range(world_size)]
         self._world_group = self.fabric.group_registry.setdefault_group(
             tuple(range(world_size))

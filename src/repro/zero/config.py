@@ -19,12 +19,32 @@ class ZeROConfig:
     constant_buffer_numel: int = 1 << 22  # 4M elements (16 MB fp32)
     memory_defrag: bool = True  # MD
     checkpoint_activations: bool = True
+    # ZeRO-Offload: host-resident fp32 Adam state + update (drops the
+    # K Psi / Nd term from device memory), optionally with the gradient
+    # shard host-resident too (drops 2 Psi / Nd more, streamed over PCIe
+    # during backward) and the one-step delayed parameter update schedule.
+    offload_optimizer: bool = False
+    offload_gradients: bool = False
+    delayed_param_update: bool = False
 
     def __post_init__(self):
         if self.stage not in (0, 1, 2, 3):
             raise ValueError(f"ZeRO stage must be 0-3, got {self.stage}")
         if self.cpu_offload_activations and not self.partition_activations:
             raise ValueError("Pa+cpu requires partition_activations (Pa)")
+        if self.offload_optimizer and self.stage < 1:
+            raise ValueError(
+                "offload_optimizer requires a partitioned optimizer (stage >= 1)"
+            )
+        if self.offload_gradients:
+            if not self.offload_optimizer:
+                raise ValueError("offload_gradients requires offload_optimizer")
+            if self.stage < 2:
+                raise ValueError(
+                    "offload_gradients requires a partitioned gradient shard (stage >= 2)"
+                )
+        if self.delayed_param_update and not self.offload_optimizer:
+            raise ValueError("delayed_param_update requires offload_optimizer")
 
     @property
     def label(self) -> str:
@@ -36,6 +56,10 @@ class ZeROConfig:
             extras.append("MD")
         if self.partition_activations:
             extras.append("Pa+cpu" if self.cpu_offload_activations else "Pa")
+        if self.offload_optimizer:
+            extras.append("off-g+os" if self.offload_gradients else "off-os")
+        if self.delayed_param_update:
+            extras.append("DPU")
         return stage_name + (" + " + "+".join(extras) if extras else "")
 
 

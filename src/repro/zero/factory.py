@@ -39,11 +39,23 @@ def build_engine(
     engine_config: EngineConfig | None = None,
 ) -> BaseEngine:
     """Wrap an existing model in the engine for ``zero.stage``."""
+    from dataclasses import replace
+
     config = engine_config or EngineConfig()
     if zero.constant_buffers and config.fused_buffer_numel is None:
-        from dataclasses import replace
-
         config = replace(config, fused_buffer_numel=zero.constant_buffer_numel)
+    if zero.offload_optimizer and config.offload is None:
+        from repro.offload.engine import OffloadConfig
+
+        config = replace(
+            config,
+            offload=OffloadConfig(
+                offload_optimizer=True,
+                offload_gradients=zero.offload_gradients,
+                delayed_param_update=zero.delayed_param_update,
+                checkpointing=zero.checkpoint_activations,
+            ),
+        )
     return ENGINE_BY_STAGE[zero.stage](ctx, model, dp_group, config)
 
 

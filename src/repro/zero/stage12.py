@@ -28,6 +28,7 @@ from repro.comm.group import ProcessGroup
 from repro.comm.tensor_ops import all_gather_flat
 from repro.nn.module import Parameter
 from repro.nn.transformer import GPT2Model
+from repro.offload.host_optim import HostAdamState, HostTensor
 from repro.optim.adam import adam_step_inplace
 from repro.optim.mixed_precision import FlatAdamState
 from repro.optim.scaler import LossScaler
@@ -43,6 +44,7 @@ class _ZeroDPBase(BaseEngine):
 
     #: stage 2 releases the bucket's full gradients after reduction.
     free_grads_after_reduce = False
+    supports_offload = True
 
     def __init__(
         self,
@@ -57,11 +59,21 @@ class _ZeroDPBase(BaseEngine):
         self.part_lo, self.part_hi = self.layout.partition_bounds(self.nd, self.my_index)
         self.part_numel = self.part_hi - self.part_lo
         # fp32 Adam state over *this rank's partition only* — the 4x / 8x
-        # memory reduction of Figure 1 comes from this line.
-        self.opt_state = FlatAdamState(
-            self.part_numel, device=ctx.device, hp=self.config.adam,
-            meta=self.is_meta, tag=f"{self.name}-adam",
-        )
+        # memory reduction of Figure 1 comes from this line. With
+        # offload_optimizer the same partition lives in host DRAM instead
+        # (ZeRO-Offload), dropping the K Psi / Nd term from the device.
+        off = self.config.offload
+        self._host_adam = off is not None and off.offload_optimizer
+        if self._host_adam:
+            self.opt_state = HostAdamState(
+                self.part_numel, host=ctx.host, hp=self.config.adam,
+                meta=self.is_meta, tag=f"{self.name}-adam",
+            )
+        else:
+            self.opt_state = FlatAdamState(
+                self.part_numel, device=ctx.device, hp=self.config.adam,
+                meta=self.is_meta, tag=f"{self.name}-adam",
+            )
         if not self.is_meta:
             self.opt_state.init_master(
                 self.layout.gather_param_range(self.part_lo, self.part_hi, np.float32)
@@ -69,16 +81,23 @@ class _ZeroDPBase(BaseEngine):
         # Stage 2 keeps reduced gradients in a persistent 1/Nd shard (the
         # 2 Psi -> 2 Psi/Nd reduction). Stage 1 writes reduced values back
         # into the full-size gradient tensors in place, as the paper's Pos
-        # does — no extra buffer.
-        self.grad_shard: Tensor | None = None
+        # does — no extra buffer. Under offload_gradients the shard is
+        # host-resident: each reduced piece streams d2h during backward.
+        self.grad_shard: Tensor | HostTensor | None = None
         if self.free_grads_after_reduce:
-            self.grad_shard = Tensor(
-                (self.part_numel,),
-                np.dtype(self.model.dtype),
-                data=None if self.is_meta else np.zeros(self.part_numel, self.model.dtype),
-                device=ctx.device,
-                tag=f"{self.name}-grad-shard",
-            )
+            if off is not None and off.offload_gradients:
+                self.grad_shard = HostTensor(
+                    self.part_numel, np.dtype(self.model.dtype), ctx.host,
+                    meta=self.is_meta, tag=f"{self.name}-grad-shard",
+                )
+            else:
+                self.grad_shard = Tensor(
+                    (self.part_numel,),
+                    np.dtype(self.model.dtype),
+                    data=None if self.is_meta else np.zeros(self.part_numel, self.model.dtype),
+                    device=ctx.device,
+                    tag=f"{self.name}-grad-shard",
+                )
         self._queue = GradBucketQueue(self.config.bucket_numel, self._flush_bucket)
         if self.config.gradient_accumulation_steps == 1 or self.free_grads_after_reduce:
             # Stage 2 reduces (and frees) every micro-step, so its hooks
@@ -151,6 +170,15 @@ class _ZeroDPBase(BaseEngine):
                         )
                     cursor += hi - lo
             fused.free()
+        if (
+            self.offload is not None
+            and self.offload.config.offload_gradients
+            and self.my_index in by_owner
+        ):
+            # The piece this rank owns just landed in the host shard: one
+            # streamed d2h transfer, overlapped with the rest of backward.
+            mine = sum(hi - lo for lo, hi in by_owner[self.my_index])
+            self.offload.queue_grad_d2h(mine * dtype.itemsize)
         if self.free_grads_after_reduce:
             for p in bucket:
                 p.zero_grad()
@@ -190,7 +218,10 @@ class _ZeroDPBase(BaseEngine):
     def _optimizer_step(self) -> bool:
         if self.is_meta:
             self.opt_state.step_count += 1
-            self.with_fused_buffer(self.part_numel, lambda lo, hi: None)
+            if not self._host_adam:
+                # Host-side Adam needs no device working buffer — one of
+                # ZeRO-Offload's device-memory savings.
+                self.with_fused_buffer(self.part_numel, lambda lo, hi: None)
             self._all_gather_params(None)
             return True
         if self.grad_shard is not None:
@@ -213,6 +244,11 @@ class _ZeroDPBase(BaseEngine):
             grad32 *= np.float32(clip_factor)
         self.opt_state.step_count += 1
         hp = self.current_adam_hp
+        # DPU (ZeRO-Offload): broadcast fp16(master *before* this update) —
+        # the update lands one step late, overlapped with the next step's
+        # compute. See repro.offload.engine for the staleness contract.
+        dpu = self.offload is not None and self.offload.config.delayed_param_update
+        stale16 = self.opt_state.master.data.astype(self.model.dtype) if dpu else None
 
         def update(lo: int, hi: int) -> None:
             adam_step_inplace(
@@ -228,8 +264,17 @@ class _ZeroDPBase(BaseEngine):
                 ),
             )
 
-        self.with_fused_buffer(self.part_numel, update)
-        self._all_gather_params(self.opt_state.master.data.astype(self.model.dtype))
+        if self._host_adam:
+            # The update runs on the host vectors directly — no device
+            # scratch. Elementwise, so bitwise identical to the chunked
+            # device path.
+            update(0, self.part_numel)
+        else:
+            self.with_fused_buffer(self.part_numel, update)
+        self._all_gather_params(
+            stale16 if stale16 is not None
+            else self.opt_state.master.data.astype(self.model.dtype)
+        )
         return True
 
     def _all_gather_params(self, my_shard16: np.ndarray | None) -> None:

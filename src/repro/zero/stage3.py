@@ -28,6 +28,7 @@ import numpy as np
 from repro.comm.group import ProcessGroup
 from repro.nn.module import Module, Parameter
 from repro.nn.transformer import GPT2Model
+from repro.offload.host_optim import HostAdamState, HostTensor
 from repro.optim.adam import adam_step_inplace
 from repro.optim.mixed_precision import FlatAdamState
 from repro.optim.scaler import LossScaler
@@ -40,6 +41,7 @@ class ZeroStage3Engine(BaseEngine):
     """Pos+g+p: partitioned optimizer state, gradients, and parameters."""
 
     name = "zero3"
+    supports_offload = True
 
     def __init__(
         self,
@@ -54,10 +56,20 @@ class ZeroStage3Engine(BaseEngine):
         self.part_lo, self.part_hi = self.layout.partition_bounds(self.nd, self.my_index)
         self.part_numel = self.part_hi - self.part_lo
 
-        self.opt_state = FlatAdamState(
-            self.part_numel, device=ctx.device, hp=self.config.adam,
-            meta=self.is_meta, tag="zero3-adam",
-        )
+        # ZeRO-Offload: the fp32 Adam partition (and optionally the fp16
+        # gradient shard) lives in host DRAM instead of on the device.
+        off = self.config.offload
+        self._host_adam = off is not None and off.offload_optimizer
+        if self._host_adam:
+            self.opt_state = HostAdamState(
+                self.part_numel, host=ctx.host, hp=self.config.adam,
+                meta=self.is_meta, tag="zero3-adam",
+            )
+        else:
+            self.opt_state = FlatAdamState(
+                self.part_numel, device=ctx.device, hp=self.config.adam,
+                meta=self.is_meta, tag="zero3-adam",
+            )
         # Persistent fp16 parameter shard (2 Psi / Nd)...
         self.param_shard = Tensor(
             (self.part_numel,), np.dtype(self.model.dtype),
@@ -66,12 +78,19 @@ class ZeroStage3Engine(BaseEngine):
             ),
             device=ctx.device, tag="zero3-param-shard",
         )
-        # ...and fp16 gradient shard (2 Psi / Nd).
-        self.grad_shard = Tensor(
-            (self.part_numel,), np.dtype(self.model.dtype),
-            data=None if self.is_meta else np.zeros(self.part_numel, self.model.dtype),
-            device=ctx.device, tag="zero3-grad-shard",
-        )
+        # ...and fp16 gradient shard (2 Psi / Nd), host-resident under
+        # offload_gradients (each unit's reduced piece streams d2h).
+        if off is not None and off.offload_gradients:
+            self.grad_shard: Tensor | HostTensor = HostTensor(
+                self.part_numel, np.dtype(self.model.dtype), ctx.host,
+                meta=self.is_meta, tag="zero3-grad-shard",
+            )
+        else:
+            self.grad_shard = Tensor(
+                (self.part_numel,), np.dtype(self.model.dtype),
+                data=None if self.is_meta else np.zeros(self.part_numel, self.model.dtype),
+                device=ctx.device, tag="zero3-grad-shard",
+            )
         if not self.is_meta:
             self.opt_state.init_master(self.param_shard.data.astype(np.float32))
 
@@ -208,6 +227,15 @@ class ZeroStage3Engine(BaseEngine):
                         view[:] = acc.astype(view.dtype)
                     cursor += hi - lo
             fused.free()
+        if (
+            self.offload is not None
+            and self.offload.config.offload_gradients
+            and self.my_index in by_owner
+        ):
+            # This unit's owned piece just landed in the host shard: one
+            # streamed d2h transfer, overlapped with later units' backward.
+            mine = sum(hi - lo for lo, hi in by_owner[self.my_index])
+            self.offload.queue_grad_d2h(mine * dtype.itemsize)
         for p in params:
             p.zero_grad()
 
@@ -236,7 +264,9 @@ class ZeroStage3Engine(BaseEngine):
     def _optimizer_step(self) -> bool:
         if self.is_meta:
             self.opt_state.step_count += 1
-            self.with_fused_buffer(self.part_numel, lambda lo, hi: None)
+            if not self._host_adam:
+                # Host-side Adam needs no device working buffer.
+                self.with_fused_buffer(self.part_numel, lambda lo, hi: None)
             return True
         grad32 = self.grad_shard.numpy().astype(np.float32)
         grad32 /= self.grad_divisor
@@ -249,6 +279,12 @@ class ZeroStage3Engine(BaseEngine):
             grad32 *= np.float32(clip_factor)
         self.opt_state.step_count += 1
         hp = self.current_adam_hp
+        # DPU (ZeRO-Offload): refresh the fp16 shard from master *before*
+        # this update — the update lands one step late, overlapped with the
+        # next step's compute (staleness contract in repro.offload.engine).
+        dpu = self.offload is not None and self.offload.config.delayed_param_update
+        if dpu:
+            self.param_shard.data = self.opt_state.master.data.astype(self.model.dtype)
 
         def update(lo: int, hi: int) -> None:
             adam_step_inplace(
@@ -264,9 +300,16 @@ class ZeroStage3Engine(BaseEngine):
                 ),
             )
 
-        self.with_fused_buffer(self.part_numel, update)
-        # Refresh the fp16 shard; no all-gather — next step re-gathers lazily.
-        self.param_shard.data = self.opt_state.master.data.astype(self.model.dtype)
+        if self._host_adam:
+            # Runs on the host vectors directly; elementwise, so bitwise
+            # identical to the chunked device path.
+            update(0, self.part_numel)
+        else:
+            self.with_fused_buffer(self.part_numel, update)
+        if not dpu:
+            # Refresh the fp16 shard; no all-gather — next step re-gathers
+            # lazily.
+            self.param_shard.data = self.opt_state.master.data.astype(self.model.dtype)
         return True
 
     def checkpoint_partition(self) -> tuple[int, int]:

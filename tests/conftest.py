@@ -34,6 +34,11 @@ def pytest_configure(config):
         "markers",
         "timeout_guard(seconds): override the per-test deadlock-guard timeout",
     )
+    config.addinivalue_line(
+        "markers",
+        "offload: ZeRO-Offload engine tests (host-resident optimizer, PCIe "
+        "stream, delayed parameter update)",
+    )
 
 
 @pytest.hookimpl(wrapper=True)
