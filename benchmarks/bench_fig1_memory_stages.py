@@ -1,11 +1,18 @@
 """Figure 1: per-device model-state memory under ZeRO-DP stages."""
 
+from repro.configs import FIGURE1_ND, FIGURE1_PSI
 from repro.experiments import fig1
 
 
 def test_fig1_memory_stages(benchmark, record_table):
     rows = benchmark(fig1.run, measure=True)
-    record_table(fig1.render(rows))
     gb = {r.label: r.analytic_gb for r in rows}
+    record_table(
+        fig1.render(rows),
+        metrics={
+            f"model_state_{r.label}": (r.analytic_gb, "GB") for r in rows
+        },
+        config={"figure": "fig1", "psi": FIGURE1_PSI, "nd": FIGURE1_ND},
+    )
     assert gb["baseline"] == 120.0
     assert round(gb["Pos+g+p"], 1) == 1.9

@@ -3,11 +3,14 @@
 Every benchmark regenerates one paper table/figure: it times the
 experiment runner with pytest-benchmark, prints the reproduced rows, and
 writes them to ``benchmarks/output/<name>.txt`` so the artifacts survive
-pytest's output capture.
+pytest's output capture. ``record_table(text, metrics=...)`` additionally
+writes machine-readable ``benchmarks/output/BENCH_<name>.json`` rows
+(metric name, value, unit, config) for dashboards and regression diffing.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -17,12 +20,35 @@ OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 @pytest.fixture
 def record_table(request):
-    """record_table(text) -> prints and persists the reproduced table."""
+    """record_table(text, metrics=None, config=None) -> prints and persists
+    the reproduced table.
 
-    def _record(text: str) -> None:
+    ``metrics`` is an optional mapping ``{name: value}`` or
+    ``{name: (value, unit)}``; when given (even empty), the fixture also
+    writes ``BENCH_<name>.json`` with one row per metric, each carrying
+    the benchmark name and the (JSON-serializable) ``config`` dict.
+    """
+
+    def _record(text: str, metrics=None, config=None) -> None:
         OUTPUT_DIR.mkdir(exist_ok=True)
         name = request.node.name.replace("/", "_")
         (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        if metrics is not None:
+            rows = []
+            for metric, value in metrics.items():
+                unit = ""
+                if isinstance(value, tuple):
+                    value, unit = value
+                rows.append({
+                    "benchmark": name,
+                    "metric": metric,
+                    "value": value,
+                    "unit": unit,
+                    "config": dict(config or {}),
+                })
+            (OUTPUT_DIR / f"BENCH_{name}.json").write_text(
+                json.dumps(rows, indent=2) + "\n"
+            )
         print(f"\n{text}\n")
 
     return _record

@@ -33,11 +33,12 @@ def profile(stage):
         model, engine = build_model_and_engine(
             ctx, CFG, zero, dp_group=ctx.world, dtype=np.float32, seed=4,
         )
-        tl = MemoryTimeline(ctx.device)
-        engine.timeline = tl
-        ids, tgt = CORPUS.sample_batch(4, 48, rank=ctx.rank, step=0)
-        engine.train_step(ids, tgt)
-        tl.detach()
+        # Context-manager form: the device's alloc/free are restored on
+        # exit even if the step raises.
+        with MemoryTimeline(ctx.device) as tl:
+            engine.timeline = tl
+            ids, tgt = CORPUS.sample_batch(4, 48, rank=ctx.rank, step=0)
+            engine.train_step(ids, tgt)
         return tl if ctx.rank == 0 else None
 
     return cluster.run(fn)[0]

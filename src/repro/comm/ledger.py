@@ -15,6 +15,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.utils.phase import normalize_phase
+
 # Nominal per-rank volume as a multiple of the full message size, by op —
 # the accounting convention of the paper's Sections 7 and 8.
 NOMINAL_FACTOR = {
@@ -99,6 +101,10 @@ class CommLedger:
         self.events: list[CommEvent] = []
         self.retries: list[RetryEvent] = []
         self.enabled = True
+        #: optional telemetry bridge: an object with ``on_comm_event`` /
+        #: ``on_retry_event`` (duck-typed; ``repro.telemetry.Tracer``).
+        #: None by default so the hot path costs one attribute check.
+        self.listener = None
 
     def record(
         self,
@@ -111,15 +117,16 @@ class CommLedger:
             return
         if op not in NOMINAL_FACTOR:
             raise ValueError(f"unknown communication op {op!r}")
-        self.events.append(
-            CommEvent(
-                op=op,
-                message_bytes=int(message_bytes),
-                group_size=len(group_ranks),
-                group_ranks=tuple(group_ranks),
-                phase=phase,
-            )
+        event = CommEvent(
+            op=op,
+            message_bytes=int(message_bytes),
+            group_size=len(group_ranks),
+            group_ranks=tuple(group_ranks),
+            phase=phase,
         )
+        self.events.append(event)
+        if self.listener is not None:
+            self.listener.on_comm_event(event)
 
     def record_retry(
         self,
@@ -131,17 +138,22 @@ class CommLedger:
         *,
         gave_up: bool = False,
     ) -> None:
-        """Record one failed collective attempt (see RetryEvent)."""
-        self.retries.append(
-            RetryEvent(
-                op=op,
-                group_ranks=tuple(group_ranks),
-                attempt=int(attempt),
-                backoff_s=float(backoff_s),
-                error=error,
-                gave_up=gave_up,
-            )
+        """Record one failed collective attempt (see RetryEvent).
+
+        Like the events themselves, retries reach the telemetry listener
+        even while ``enabled`` is False — they are control-plane
+        bookkeeping, not volume."""
+        event = RetryEvent(
+            op=op,
+            group_ranks=tuple(group_ranks),
+            attempt=int(attempt),
+            backoff_s=float(backoff_s),
+            error=error,
+            gave_up=gave_up,
         )
+        self.retries.append(event)
+        if self.listener is not None:
+            self.listener.on_retry_event(event)
 
     def clear(self) -> None:
         self.events.clear()
@@ -166,10 +178,11 @@ class CommLedger:
         return dict(totals)
 
     def by_phase(self) -> dict[str, float]:
-        """Nominal bytes per caller phase label."""
+        """Nominal bytes per caller phase label; events recorded without a
+        label report under ``"(unlabelled)"`` (the ascii_plot convention)."""
         totals: dict[str, float] = defaultdict(float)
         for e in self.events:
-            totals[e.phase] += e.nominal_bytes
+            totals[normalize_phase(e.phase)] += e.nominal_bytes
         return dict(totals)
 
     def _select(self, op: str | None, phase: str | None):

@@ -8,6 +8,12 @@ This is the simulated counterpart of a torch.profiler memory trace and
 powers ``examples/memory_timeline.py``.
 
 The tracer wraps the device's alloc/free; ``detach()`` restores them.
+``MemoryTimeline`` is also a context manager — ``with`` scoping guarantees
+the device's methods are restored even when the step raises::
+
+    with MemoryTimeline(device) as timeline:
+        engine.train_step(batch)
+    print(timeline.ascii_plot())
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.memsim.device import Device
+from repro.utils.phase import normalize_phase
 
 
 @dataclass(frozen=True)
@@ -30,15 +37,24 @@ class MemorySample:
 class MemoryTimeline:
     """Samples the device on every allocator event."""
 
-    def __init__(self, device: Device):
+    def __init__(self, device: Device, *, listener=None):
         self.device = device
         self.samples: list[MemorySample] = []
         self.phase = ""
+        #: optional telemetry bridge: an object with ``on_memory_sample``
+        #: (duck-typed; ``repro.telemetry.Tracer``).
+        self.listener = listener
         self._orig_alloc = device.alloc
         self._orig_free = device.free
         self._attached = True
         device.alloc = self._alloc  # type: ignore[method-assign]
         device.free = self._free  # type: ignore[method-assign]
+
+    def __enter__(self) -> "MemoryTimeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.detach()
 
     # -- instrumented entry points ---------------------------------------------
 
@@ -52,16 +68,17 @@ class MemoryTimeline:
         self._sample(-extent.size, extent.tag)
 
     def _sample(self, delta: int, tag: str) -> None:
-        self.samples.append(
-            MemorySample(
-                index=len(self.samples),
-                allocated=self.device.allocated_bytes,
-                reserved=self.device.reserved_bytes,
-                delta=delta,
-                tag=tag,
-                phase=self.phase,
-            )
+        sample = MemorySample(
+            index=len(self.samples),
+            allocated=self.device.allocated_bytes,
+            reserved=self.device.reserved_bytes,
+            delta=delta,
+            tag=tag,
+            phase=self.phase,
         )
+        self.samples.append(sample)
+        if self.listener is not None:
+            self.listener.on_memory_sample(sample)
 
     # -- caller API ---------------------------------------------------------------
 
@@ -82,9 +99,13 @@ class MemoryTimeline:
         return max((s.allocated for s in selected), default=0)
 
     def phase_peaks(self) -> dict[str, int]:
+        """Peak allocated bytes per phase label; samples taken before any
+        ``mark()`` report under ``"(unlabelled)"`` (the ascii_plot
+        convention)."""
         peaks: dict[str, int] = {}
         for s in self.samples:
-            peaks[s.phase] = max(peaks.get(s.phase, 0), s.allocated)
+            phase = normalize_phase(s.phase)
+            peaks[phase] = max(peaks.get(phase, 0), s.allocated)
         return peaks
 
     def largest_allocations(self, n: int = 5) -> list[MemorySample]:
@@ -127,6 +148,6 @@ class MemoryTimeline:
         for s in self.samples:
             if s.phase not in seen:
                 seen.add(s.phase)
-                phases.append(s.phase or "(unlabelled)")
+                phases.append(normalize_phase(s.phase))
         lines.append("  phases: " + " | ".join(phases))
         return "\n".join(lines)

@@ -208,3 +208,30 @@ class OffloadRuntime:
         self._bwd_s = 0.0
         self._grad_pieces = []
         return report
+
+    # -- telemetry -----------------------------------------------------------
+
+    def trace_step(self, tracer, t0: float) -> None:
+        """Emit the just-finished boundary's transfer timeline onto
+        telemetry side tracks (call after ``finish_step``).
+
+        ``t0`` is the tracer clock at forward begin; the runtime's
+        within-step times (t=0 at forward begin) are shifted by it. Each
+        PCIe transfer lands on a per-direction lane track and the host
+        Adam on a "host" track. These are explicit-interval complete
+        events, not clock spans — under DPU the deferred tail legitimately
+        overlaps the next step's compute.
+        """
+        if not self.reports:
+            return
+        report = self.reports[-1]
+        for h in self.stream.handles:
+            tracer.add_span(
+                h.direction, t0 + h.start_t, h.done_t - h.start_t,
+                track=f"pcie-{h.direction}", bytes=h.nbytes, phase=h.phase,
+            )
+        if report.cpu_adam_s > 0:
+            tracer.add_span(
+                "cpu-adam", t0 + report.grads_ready_s, report.cpu_adam_s,
+                track="host", delayed=self.config.delayed_param_update,
+            )

@@ -113,6 +113,10 @@ class BaseEngine:
         # Optional repro.memsim.timeline.MemoryTimeline: when attached, the
         # step loop labels its phases for within-step memory profiles.
         self.timeline = None
+        # Telemetry tracer (repro.telemetry.Tracer) threaded through the
+        # context; None means disabled and every instrumentation site is a
+        # single `is not None` check.
+        self.tracer = ctx.tracer
         # Per-element weight-decay mask over the padded flat space (None
         # when decay applies uniformly). Engines slice their own range.
         self.decay_mask = None
@@ -192,12 +196,26 @@ class BaseEngine:
         if self.offload is not None:
             self.offload.begin_micro(ids_t.shape[0], ids_t.shape[-1])
 
+        tr = self.tracer
+        fwd_s = bwd_s = 0.0
+        step_t0 = 0.0
+        if tr is not None:
+            fwd_s, bwd_s = self._compute_split(ids_t.shape[0], ids_t.shape[-1])
+            step_t0 = tr.clock_s
+            tr.begin("step", micro_step=self._micro_step, boundary=boundary)
+            tr.sample_memory(self.ctx.device)
+            tr.begin("forward")
         self._mark("forward")
         self._before_forward()
         logits, cache = self.model.forward(ids_t, ctx)
         loss, lcache = self.loss_head.forward(logits, tgt_t)
         loss_value = None if loss.is_meta else float(loss.numpy())
         dlogits = self.loss_head.backward(lcache, loss_scale=self.scaler.scale)
+        if tr is not None:
+            tr.advance(fwd_s)
+            tr.sample_memory(self.ctx.device)
+            tr.end()  # forward
+            tr.begin("backward")
         self._mark("backward")
         self._before_backward()
         dh = self.model.backward(cache, dlogits)
@@ -207,23 +225,43 @@ class BaseEngine:
         cache.free()
         logits.free_if_alive()
         loss.free_if_alive()
+        if tr is not None:
+            tr.advance(bwd_s)
+            tr.sample_memory(self.ctx.device)
+            tr.end()  # backward
 
         applied = False
         step_time_s = 0.0
         if boundary:
             self._mark("reduce")
+            if tr is not None:
+                tr.begin("grad-reduce")
             self._reduce_gradients()
             self._mark("optimizer")
+            if tr is not None:
+                tr.end()
+                tr.begin("optimizer")
             applied = self._optimizer_step()
             if self.offload is not None:
                 self._offload_finish(applied)
                 step_time_s = self.offload.reports[-1].step_s
+                if tr is not None:
+                    self.offload.trace_step(tr, step_t0)
             self._release_gradients()
+            if tr is not None:
+                tr.sample_memory(self.ctx.device)
+                tr.end()  # optimizer
         else:
             self._mark("reduce")
+            if tr is not None:
+                tr.begin("grad-reduce")
             self._micro_reduce()
+            if tr is not None:
+                tr.end()
         for t in free_inputs:
             t.free_if_alive()
+        if tr is not None:
+            tr.end()  # step
         return StepResult(
             loss=loss_value, applied=applied, is_boundary=boundary,
             step_time_model_s=step_time_s,
@@ -274,6 +312,34 @@ class BaseEngine:
     def _mark(self, phase: str) -> None:
         if self.timeline is not None:
             self.timeline.mark(phase)
+
+    def _compute_split(self, batch: int, seq_len: int) -> tuple[float, float]:
+        """Modeled (forward_s, backward_s) GEMM seconds for one micro-batch.
+
+        Identical accounting to ``OffloadRuntime.begin_micro`` and
+        ``analysis.sim_time``: hardware FLOPs per replica (scaled down by
+        the MP degree for tensor-parallel models) over achieved GEMM
+        throughput, split 1/4 : 3/4 with activation recompute, 1/3 : 2/3
+        without — so traced span durations and the ledger-driven step-time
+        estimate agree by construction.
+        """
+        from repro.analysis.perf_model import (
+            gemm_efficiency,
+            transformer_flops_per_replica,
+        )
+
+        ckpt = bool(getattr(self.model, "checkpoint_activations", False))
+        mp_group = getattr(self.model, "mp_group", None)
+        degree = mp_group.size if mp_group is not None else 1
+        flops = transformer_flops_per_replica(
+            self.model.config, batch, seq_len, checkpointing=ckpt
+        ) / degree
+        sec = flops / (
+            self.ctx.device.spec.peak_flops
+            * gemm_efficiency(self.model.config.hidden)
+        )
+        f_frac = 0.25 if ckpt else 1.0 / 3.0
+        return sec * f_frac, sec * (1.0 - f_frac)
 
     def _before_forward(self) -> None:
         return

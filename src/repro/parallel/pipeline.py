@@ -112,6 +112,8 @@ class GPipeEngine:
         self.opt_state.init_master(self.layout.gather_params(np.float32))
         self.loss_head = self.model.make_loss_head() if self.is_last else None
         self.step_count = 0
+        # Telemetry tracer from the context; None means disabled.
+        self.tracer = ctx.tracer
 
     # -- schedule -----------------------------------------------------------------
 
@@ -132,6 +134,13 @@ class GPipeEngine:
         ctx = ExecutionContext(training=True)
         prev = self.group.ranks[self.stage_index - 1] if not self.is_first else None
         nxt = self.group.ranks[self.stage_index + 1] if not self.is_last else None
+
+        tr = self.tracer
+        if tr is not None:
+            tr.begin("step", micro_batches=self.n_microbatches,
+                     stage=self.stage_index)
+            tr.sample_memory(self.ctx.device)
+            tr.begin("forward")
 
         # All-forward. Per-micro state is retained until its backward —
         # exactly GPipe's activation-memory footprint.
@@ -172,6 +181,10 @@ class GPipeEngine:
                 )
                 # The boundary activation tensor is kept for backward below.
                 loss_caches.append((None, h_out))
+        if tr is not None:
+            tr.sample_memory(self.ctx.device)
+            tr.end()  # forward
+            tr.begin("backward")
 
         # All-backward (reverse micro order, reverse units).
         for m in reversed(range(self.n_microbatches)):
@@ -198,9 +211,17 @@ class GPipeEngine:
             for t in mids[m]:
                 t.free_if_alive()
             inputs[m].free_if_alive()
+        if tr is not None:
+            tr.sample_memory(self.ctx.device)
+            tr.end()  # backward
+            tr.begin("optimizer")
 
         self._optimizer_step()
         self.stage_module.zero_grad()
+        if tr is not None:
+            tr.sample_memory(self.ctx.device)
+            tr.end()  # optimizer
+            tr.end()  # step
         return float(np.mean(losses)) if self.is_last else None
 
     def _optimizer_step(self) -> None:

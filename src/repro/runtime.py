@@ -44,6 +44,10 @@ class RankContext:
     ledger: CommLedger
     topology: ClusterTopology
     fabric: Fabric
+    #: per-rank telemetry tracer (``repro.telemetry.Tracer``) — None unless
+    #: a ``TelemetrySession`` is attached; engines must treat None as
+    #: "telemetry disabled" and record nothing.
+    tracer: Any = None
     _groups: dict[tuple[int, ...], ProcessGroup] = field(default_factory=dict)
 
     def group(self, ranks: Sequence[int]) -> ProcessGroup:
@@ -88,6 +92,7 @@ def virtual_rank_context(
     rank: int = 0,
     gpu: GPUSpec = V100_32GB,
     topology: ClusterTopology | None = None,
+    telemetry=None,
 ) -> RankContext:
     """One simulated rank of an arbitrarily large world, no peer threads.
 
@@ -104,6 +109,10 @@ def virtual_rank_context(
     world.attach_ledger(rank, ledger)
     fabric = Fabric(1)
     topo = topology or ClusterTopology.for_world_size(world_size)
+    tracer = None
+    if telemetry is not None:
+        tracer = telemetry.tracer_for(rank, topology=topo)
+        ledger.listener = tracer
     return RankContext(
         rank=rank,
         world_size=world_size,
@@ -113,6 +122,7 @@ def virtual_rank_context(
         ledger=ledger,
         topology=topo,
         fabric=fabric,
+        tracer=tracer,
     )
 
 
@@ -129,8 +139,12 @@ class Cluster:
         host: HostMemory | None = None,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        telemetry=None,
     ):
         self.world_size = world_size
+        #: optional ``repro.telemetry.TelemetrySession``; when None the
+        #: cluster allocates no telemetry objects at all.
+        self.telemetry = telemetry
         self.topology = topology or ClusterTopology.for_world_size(world_size)
         if self.topology.world_size != world_size:
             raise ValueError(
@@ -153,6 +167,12 @@ class Cluster:
     def context(self, rank: int) -> RankContext:
         """Build rank ``rank``'s context (exposed for single-rank tests)."""
         self._world_group.attach_ledger(rank, self.ledgers[rank])
+        tracer = None
+        if self.telemetry is not None:
+            tracer = self.telemetry.tracer_for(
+                rank, topology=self.topology, gpu=self.devices[rank].spec
+            )
+            self.ledgers[rank].listener = tracer
         return RankContext(
             rank=rank,
             world_size=self.world_size,
@@ -162,6 +182,7 @@ class Cluster:
             ledger=self.ledgers[rank],
             topology=self.topology,
             fabric=self.fabric,
+            tracer=tracer,
         )
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:

@@ -100,6 +100,7 @@ class Supervisor:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         timeout_s: float = 120.0,
+        telemetry=None,
     ):
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
@@ -109,6 +110,11 @@ class Supervisor:
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
         self.timeout_s = timeout_s
+        #: optional ``repro.telemetry.TelemetrySession`` threaded into every
+        #: attempt's Cluster. Tracers are keyed by rank inside the session,
+        #: so a relaunched rank continues its timeline, and each restart /
+        #: give-up appears as a supervisor-track instant event.
+        self.telemetry = telemetry
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> SupervisorReport:
         """Run ``fn(ctx, *args, **kwargs)`` to completion, restarting on
@@ -125,6 +131,7 @@ class Supervisor:
                 timeout_s=self.timeout_s,
                 fault_plan=self.fault_plan,
                 retry_policy=self.retry_policy,
+                telemetry=self.telemetry,
             )
             try:
                 results = cluster.run(fn, *args, **kwargs)
@@ -137,6 +144,23 @@ class Supervisor:
                 events.append(
                     RestartEvent(restarts, world, new_world, newly_dead, repr(exc))
                 )
+                if self.telemetry is not None:
+                    # Unwind spans the crashed attempt left open, then mark
+                    # the restart (or the give-up) on the supervisor track.
+                    self.telemetry.close_open_spans()
+                gave_up = (
+                    restarts > self.policy.max_restarts
+                    or new_world < self.policy.min_world_size
+                )
+                if self.telemetry is not None:
+                    self.telemetry.instant(
+                        "supervisor-gave-up" if gave_up else "supervisor-restart",
+                        attempt=restarts,
+                        world_before=world,
+                        world_after=new_world,
+                        killed_ranks=list(newly_dead),
+                        error=repr(exc),
+                    )
                 if restarts > self.policy.max_restarts:
                     exc.add_note(
                         f"supervisor gave up: restart budget exhausted "

@@ -1,0 +1,214 @@
+"""Telemetry exporters: Chrome trace-event JSON and ASCII step summaries.
+
+``chrome_trace`` renders a telemetry session into the Trace Event Format
+consumed by Perfetto / chrome://tracing: one process per rank, the main
+span track as B/E duration events in causal order, offload side-tracks
+(PCIe lanes, host Adam) as complete ("X") events, counter tracks ("C")
+for allocated bytes and cumulative communication volume, and instant
+events ("i") for fault retries and supervisor actions. Timestamps are the
+simulated clock in microseconds.
+
+``validate_chrome_trace`` is the invariant checker the smoke tests run on
+exported artifacts: valid JSON shape, per-track monotonic timestamps, and
+matched B/E pairs.
+
+``ascii_summary`` renders the per-step table: phase times, communication
+volume, peak memory, and the straggler rank.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.utils.tables import format_table
+from repro.utils.units import bytes_to_str
+
+_US = 1e6  # simulated seconds -> trace microseconds
+
+# Canonical column order for the summary table; other phases follow.
+_PHASE_ORDER = ("forward", "backward", "grad-reduce", "optimizer")
+
+
+def _tid_for(track: str, tids: dict[str, int]) -> int:
+    if track not in tids:
+        tids[track] = len(tids)
+    return tids[track]
+
+
+def chrome_trace(tracers, global_instants=()) -> dict:
+    """Build the trace-event dict for ``tracers`` (iterable of Tracer).
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` — JSON-dump
+    it (or use ``write_chrome_trace``) for a loadable artifact.
+    """
+    events: list[dict] = []
+    for tracer in tracers:
+        pid = tracer.rank
+        tids: dict[str, int] = {}
+        main_tid = _tid_for("step", tids)
+        # Causal log: begin/end/instant/counter entries in recorded order;
+        # the clock is monotonic, so per-track timestamps are too.
+        for kind, item in tracer.log:
+            if kind == "B":
+                events.append({
+                    "name": item.name, "ph": "B", "pid": pid, "tid": main_tid,
+                    "ts": item.start_s * _US, "args": dict(item.args),
+                })
+            elif kind == "E":
+                events.append({
+                    "name": item.name, "ph": "E", "pid": pid, "tid": main_tid,
+                    "ts": item.end_s * _US,
+                })
+            elif kind == "I":
+                events.append({
+                    "name": item.name, "ph": "i", "s": "t", "pid": pid,
+                    "tid": main_tid, "ts": item.t_s * _US, "args": dict(item.args),
+                })
+            elif kind == "C":
+                events.append({
+                    "name": item.name, "ph": "C", "pid": pid, "tid": main_tid,
+                    "ts": item.t_s * _US, "args": {"value": item.value},
+                })
+        # Offload side-tracks: explicit-interval spans, complete events.
+        for span in sorted(tracer.timeline_spans, key=lambda s: (s.track, s.start_s)):
+            events.append({
+                "name": span.name, "ph": "X", "pid": pid,
+                "tid": _tid_for(span.track, tids),
+                "ts": span.start_s * _US, "dur": span.duration_s * _US,
+                "args": dict(span.args),
+            })
+        meta = [
+            {"name": "process_name", "ph": "M", "pid": pid,
+             "args": {"name": f"rank {pid}"}},
+            {"name": "process_sort_index", "ph": "M", "pid": pid,
+             "args": {"sort_index": pid}},
+        ]
+        for track, tid in tids.items():
+            meta.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": track},
+            })
+        events.extend(meta)
+    for ev in global_instants:
+        events.append({
+            "name": ev.name, "ph": "i", "s": "g", "pid": -1, "tid": 0,
+            "ts": ev.t_s * _US, "args": dict(ev.args),
+        })
+    if any(ev["pid"] == -1 for ev in events):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": -1,
+            "args": {"name": "supervisor"},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, tracers, global_instants=()) -> dict:
+    trace = chrome_trace(tracers, global_instants)
+    with open(path, "w") as f:
+        json.dump(trace, f)
+    return trace
+
+
+def validate_chrome_trace(trace: dict | str) -> None:
+    """Raise ``ValueError`` unless ``trace`` is a well-formed artifact:
+    JSON-shaped, per-track monotonic timestamps, matched B/E pairs."""
+    if isinstance(trace, str):
+        trace = json.loads(trace)  # raises on invalid JSON
+    if not isinstance(trace, dict) or not isinstance(trace.get("traceEvents"), list):
+        raise ValueError("trace must be a dict with a 'traceEvents' list")
+    last_ts: dict[tuple, float] = {}
+    stacks: dict[tuple, list[str]] = {}
+    for i, ev in enumerate(trace["traceEvents"]):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if ph not in ("B", "E", "X", "i", "C"):
+            raise ValueError(f"event {i}: unknown phase {ph!r}")
+        track = (ev.get("pid"), ev.get("tid"), ev["name"] if ph == "C" else None)
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            raise ValueError(f"event {i}: missing numeric ts")
+        if ts < last_ts.get(track, float("-inf")):
+            raise ValueError(
+                f"event {i}: ts {ts} goes backwards on track {track} "
+                f"(last {last_ts[track]})"
+            )
+        last_ts[track] = ts
+        if ph == "B":
+            stacks.setdefault(track, []).append(ev["name"])
+        elif ph == "E":
+            stack = stacks.get(track) or []
+            if not stack:
+                raise ValueError(f"event {i}: E {ev['name']!r} with no open B")
+            opened = stack.pop()
+            if opened != ev["name"]:
+                raise ValueError(
+                    f"event {i}: E {ev['name']!r} closes B {opened!r} (mismatched pair)"
+                )
+        elif ph == "X" and ev.get("dur", 0) < 0:
+            raise ValueError(f"event {i}: negative dur")
+    for track, stack in stacks.items():
+        if stack:
+            raise ValueError(f"unclosed B events {stack} on track {track}")
+
+
+def ascii_summary(tracers, *, title: str = "telemetry step summary") -> str:
+    """Per-step table across ranks: phase times, comm volume, peak memory,
+    and the straggler (slowest) rank."""
+    tracers = list(tracers)
+    if not tracers or not any(t.step_durations for t in tracers):
+        return "(no steps traced)"
+    n_steps = max(len(t.step_durations) for t in tracers)
+    phase_names = []
+    seen = set()
+    for name in _PHASE_ORDER:
+        for t in tracers:
+            if any(name in per_step for per_step in t.step_phase_s):
+                phase_names.append(name)
+                seen.add(name)
+                break
+    extra = sorted({
+        name
+        for t in tracers
+        for per_step in t.step_phase_s
+        for name in per_step
+    } - seen)
+    phase_names += extra
+
+    headers = (
+        ["step"]
+        + [f"{p} (ms)" for p in phase_names]
+        + ["comm volume", "peak alloc", "step (ms)", "straggler"]
+    )
+    rows = []
+    for step in range(n_steps):
+        live = [t for t in tracers if step < len(t.step_durations)]
+        cells: list[str] = [str(step)]
+        for name in phase_names:
+            vals = [t.step_phase_s[step].get(name, 0.0) for t in live]
+            cells.append(f"{1e3 * sum(vals) / len(vals):.3f}")
+        comm = sum(t.step_comm_bytes[step] for t in live)
+        peak = max(t.step_peak_alloc[step] for t in live)
+        durations = [(t.step_durations[step], t.rank) for t in live]
+        slowest, slow_rank = max(durations)
+        mean_s = sum(d for d, _ in durations) / len(durations)
+        lag = (slowest / mean_s - 1.0) * 100.0 if mean_s > 0 else 0.0
+        cells += [
+            bytes_to_str(int(comm)),
+            bytes_to_str(peak) if peak else "-",
+            f"{1e3 * slowest:.3f}",
+            f"rank {slow_rank} (+{lag:.1f}%)",
+        ]
+        rows.append(cells)
+    table = format_table(headers, rows, title=title)
+
+    by_op: dict[str, float] = {}
+    for t in tracers:
+        for op, volume in t.comm_bytes_by_op().items():
+            by_op[op] = by_op.get(op, 0.0) + volume
+    if by_op:
+        ops = "  ".join(
+            f"{op}={bytes_to_str(int(v))}" for op, v in sorted(by_op.items())
+        )
+        table += f"\ncomm volume by op (all ranks): {ops}"
+    return table

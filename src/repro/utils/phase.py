@@ -1,0 +1,17 @@
+"""Canonical phase-label convention shared by accounting layers.
+
+Callers may record communication events and memory samples without a
+phase label; aggregations report those under ``UNLABELLED`` rather than
+an invisible empty-string key, so every ledger/timeline/telemetry
+breakdown uses the same spelling (``CommLedger.by_phase``,
+``MemoryTimeline.phase_peaks``, the telemetry metrics registry).
+"""
+
+from __future__ import annotations
+
+UNLABELLED = "(unlabelled)"
+
+
+def normalize_phase(phase: str) -> str:
+    """Map the empty caller-supplied label to the visible convention."""
+    return phase if phase else UNLABELLED

@@ -26,6 +26,10 @@ class ZeROConfig:
     offload_optimizer: bool = False
     offload_gradients: bool = False
     delayed_param_update: bool = False
+    # Telemetry: when True the factory attaches a per-rank span tracer
+    # (repro.telemetry) to the context if the cluster didn't already
+    # provide one. Off by default — disabled telemetry allocates nothing.
+    telemetry: bool = False
 
     def __post_init__(self):
         if self.stage not in (0, 1, 2, 3):

@@ -41,6 +41,19 @@ def build_engine(
     """Wrap an existing model in the engine for ``zero.stage``."""
     from dataclasses import replace
 
+    if zero.telemetry and ctx.tracer is None:
+        # Standalone wiring for contexts built without a TelemetrySession:
+        # one tracer priced over the context's topology, with its own
+        # registry, bridged to the rank's ledger.
+        from repro.comm.costmodel import CommCostModel
+        from repro.telemetry import MetricsRegistry, Tracer
+
+        ctx.tracer = Tracer(
+            ctx.rank,
+            cost_model=CommCostModel(ctx.topology),
+            registry=MetricsRegistry(),
+        )
+        ctx.ledger.listener = ctx.tracer
     config = engine_config or EngineConfig()
     if zero.constant_buffers and config.fused_buffer_numel is None:
         config = replace(config, fused_buffer_numel=zero.constant_buffer_numel)

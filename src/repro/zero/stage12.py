@@ -280,6 +280,8 @@ class _ZeroDPBase(BaseEngine):
     def _all_gather_params(self, my_shard16: np.ndarray | None) -> None:
         """Collect every rank's updated fp16 partition into the parameters
         (the end-of-step all-gather of Sections 5.1 / 7.2.1)."""
+        if self.tracer is not None:
+            self.tracer.begin("param-allgather")
         full = all_gather_flat(
             self.dp_group, self.ctx.rank, my_shard16,
             shard_numel=self.part_numel, dtype=self.model.dtype,
@@ -287,6 +289,8 @@ class _ZeroDPBase(BaseEngine):
         )
         if full is not None:
             self.layout.scatter_params(full.astype(self.model.dtype))
+        if self.tracer is not None:
+            self.tracer.end()
 
     def checkpoint_partition(self) -> tuple[int, int]:
         """This rank's 1/Nd optimizer-state partition (for checkpoint_io)."""

@@ -143,6 +143,8 @@ class ZeroStage3Engine(BaseEngine):
         """All-gather (as per-owner broadcasts) this unit's parameters."""
         if unit.name in self._materialized:
             return
+        if self.tracer is not None:
+            self.tracer.begin("param-allgather", unit=unit.name)
         ulo, uhi = self._unit_range[unit.name]
         dtype = np.dtype(self.model.dtype)
         itemsize = dtype.itemsize
@@ -173,6 +175,8 @@ class ZeroStage3Engine(BaseEngine):
                 slot.shape, dtype, data=data, device=self.ctx.device, tag=p.name
             )
         self._materialized.add(unit.name)
+        if self.tracer is not None:
+            self.tracer.end()
 
     def _dematerialize(self, unit: Module) -> None:
         if unit.name not in self._materialized:
@@ -185,6 +189,15 @@ class ZeroStage3Engine(BaseEngine):
 
     def _reduce_unit_grads(self, unit: Module) -> None:
         """Reduce this unit's gradients to their owners, free the full grads."""
+        if self.tracer is not None:
+            self.tracer.begin("grad-reduce", unit=unit.name)
+        try:
+            self._reduce_unit_grads_inner(unit)
+        finally:
+            if self.tracer is not None:
+                self.tracer.end()
+
+    def _reduce_unit_grads_inner(self, unit: Module) -> None:
         params = [p for p in unit.named_parameters() if p.grad is not None]
         by_owner: dict[int, list[tuple[int, int]]] = {}
         for p in params:

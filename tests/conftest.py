@@ -39,6 +39,10 @@ def pytest_configure(config):
         "offload: ZeRO-Offload engine tests (host-resident optimizer, PCIe "
         "stream, delayed parameter update)",
     )
+    config.addinivalue_line(
+        "markers",
+        "telemetry: span tracer / metrics registry / Chrome-trace export tests",
+    )
 
 
 @pytest.hookimpl(wrapper=True)
