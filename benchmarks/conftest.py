@@ -27,11 +27,13 @@ def record_table(request):
     ``{name: (value, unit)}``; when given (even empty), the fixture also
     writes ``BENCH_<name>.json`` with one row per metric, each carrying
     the benchmark name and the (JSON-serializable) ``config`` dict.
+    ``name`` overrides the artifact basename (default: the test node's
+    name) for benchmarks whose artifact name is part of their contract.
     """
 
-    def _record(text: str, metrics=None, config=None) -> None:
+    def _record(text: str, metrics=None, config=None, name=None) -> None:
         OUTPUT_DIR.mkdir(exist_ok=True)
-        name = request.node.name.replace("/", "_")
+        name = (name or request.node.name).replace("/", "_")
         (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
         if metrics is not None:
             rows = []

@@ -41,19 +41,27 @@ from repro.runtime import Cluster, RankContext
 from repro.nn.transformer import GPTConfig
 from repro.zero.config import ZeROConfig
 from repro.comm.faults import FaultPlan, RetryPolicy
+from repro.integrity import (
+    CorruptionDetectedError,
+    IntegrityConfig,
+    VerifiedCheckpointRing,
+)
 from repro.supervisor import RestartPolicy, Supervisor, SupervisorReport
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Cluster",
+    "CorruptionDetectedError",
     "FaultPlan",
     "GPTConfig",
+    "IntegrityConfig",
     "RankContext",
     "RestartPolicy",
     "RetryPolicy",
     "Supervisor",
     "SupervisorReport",
+    "VerifiedCheckpointRing",
     "ZeROConfig",
     "__version__",
 ]

@@ -31,6 +31,19 @@ Fault taxonomy:
   can then re-form a smaller world from the survivors.
 * **P2P faults** drop a send (the receiver's timeout then aborts the
   whole fabric — see ``Fabric.recv``) or delay it by a fixed interval.
+* **Corruption faults** raise *nothing* — that is the point. They model
+  silent data corruption (SDC), the failure mode sharded state is most
+  fragile to, and are only observable through the ``repro.integrity``
+  detectors. Three corruption rules mirror the crash taxonomy:
+  ``flip_bits`` flips seeded bits in collective payloads (``when="pre"``
+  corrupts this rank's contribution before the reduction, so *every*
+  rank agrees on the wrong sum — only the anomaly sentinels can see it;
+  ``when="post"`` corrupts this rank's received result, so its replica
+  diverges — the cross-rank audit catches it), ``scribble_tensor``
+  flips bits in a resident owned shard (master / Adam moments / the
+  stage-3 parameter shard) at a step boundary, and ``rot_checkpoint``
+  flips bits in a checkpoint rank-file right after it is durably
+  written (bit rot at rest; caught by checksum verify-on-load).
 
 Rules fire a bounded number of times and stay consumed afterwards, so a
 supervisor restart does not immediately re-trigger the same failure.
@@ -41,6 +54,8 @@ depend on thread interleaving.
 
 from __future__ import annotations
 
+import os
+import pathlib
 import threading
 from dataclasses import dataclass, field
 from typing import Any
@@ -98,8 +113,9 @@ class FaultEvent:
     """One fault the plan actually injected (for assertions/reports)."""
 
     kind: str  # "kill" | "transient" | "drop_send" | "delay_send"
+               # | "bitflip" | "scribble" | "ckpt-rot"
     rank: int  # victim rank (src rank for p2p faults)
-    op: str    # collective op, "step", or "send"
+    op: str    # collective op, "step", "send", or "checkpoint"
     detail: str = ""
 
 
@@ -141,6 +157,37 @@ class _SendRule:
     fired: int = 0
 
 
+@dataclass
+class _FlipRule:
+    rank: int | None  # None = any rank
+    op: str | None    # None = any collective payload
+    when: str         # "pre" (contribution) | "post" (received result)
+    nth: int
+    times: int
+    bits: int
+    counts: dict[int, int] = field(default_factory=dict)  # per-rank matches
+    fired: int = 0
+
+
+@dataclass
+class _ScribbleRule:
+    rank: int
+    target: str  # "master" | "m" | "v" | "param_shard"
+    at_step: int
+    bits: int
+    fired: bool = False
+
+
+@dataclass
+class _RotRule:
+    rank: int | None  # None = any rank's checkpoint file
+    nth: int
+    times: int
+    bits: int
+    counts: dict[int, int] = field(default_factory=dict)  # per-rank saves
+    fired: int = 0
+
+
 class FaultPlan:
     """A deterministic, seeded schedule of injected failures.
 
@@ -158,6 +205,9 @@ class FaultPlan:
         self._transients: list[_TransientRule] = []
         self._randoms: list[_RandomRule] = []
         self._sends: list[_SendRule] = []
+        self._flips: list[_FlipRule] = []
+        self._scribbles: list[_ScribbleRule] = []
+        self._rots: list[_RotRule] = []
         self._rngs: dict[int, np.random.Generator] = {}
         self._collective_count: dict[int, int] = {}
         #: every fault that actually fired, in firing order
@@ -224,6 +274,59 @@ class FaultPlan:
         self._sends.append(_SendRule("delay", src, dst, tag, nth, times, delay_s))
         return self
 
+    def flip_bits(
+        self, *, rank: int | None = None, op: str | None = None,
+        when: str = "post", nth: int = 1, times: int = 1, bits: int = 1,
+    ) -> "FaultPlan":
+        """Silently flip ``bits`` seeded bits in matching collective
+        payloads — matches ``nth .. nth+times-1`` per rank (1-based),
+        counting only data-bearing payloads (barriers and meta
+        collectives carry none). ``when="pre"`` corrupts the rank's
+        *contribution* before the rendezvous (every rank then reduces
+        the same wrong value — undetectable by replica comparison, the
+        sentinels' job); ``when="post"`` corrupts the rank's *received
+        result* (its replica diverges — the cross-rank audit's job).
+        Raises nothing, ever."""
+        if when not in ("pre", "post"):
+            raise ValueError(f"when must be 'pre' or 'post', got {when!r}")
+        if nth < 1 or times < 1 or bits < 1:
+            raise ValueError("nth, times, and bits must be >= 1")
+        self._flips.append(_FlipRule(rank, op, when, nth, times, bits))
+        return self
+
+    def scribble_tensor(
+        self, *, rank: int, at_step: int, target: str = "master", bits: int = 1,
+    ) -> "FaultPlan":
+        """Silently flip ``bits`` seeded bits in a resident owned shard of
+        ``rank`` at the start of optimizer step ``at_step`` — modeling a
+        device-memory bit flip in state nobody else holds a copy of.
+        ``target`` is one of the engine's owned shards: ``"master"``,
+        ``"m"``, ``"v"`` (fp32 Adam state), or ``"param_shard"``
+        (stage 3). Fires once; raises nothing."""
+        if target not in ("master", "m", "v", "param_shard"):
+            raise ValueError(
+                f"target must be master/m/v/param_shard, got {target!r}"
+            )
+        if at_step < 1 or bits < 1:
+            raise ValueError("at_step and bits must be >= 1")
+        self._scribbles.append(_ScribbleRule(rank, target, at_step, bits))
+        return self
+
+    def rot_checkpoint(
+        self, *, rank: int | None = None, nth: int = 1, times: int = 1,
+        bits: int = 1,
+    ) -> "FaultPlan":
+        """Silently flip ``bits`` seeded bits in a rank's checkpoint file
+        right after it is durably written — bit rot at rest, matching
+        saves ``nth .. nth+times-1`` per rank. The save itself succeeds;
+        only checksum verify-on-load (``zero/checkpoint_io``) or the
+        ``VerifiedCheckpointRing``'s post-save verification can tell.
+        Raises nothing."""
+        if nth < 1 or times < 1 or bits < 1:
+            raise ValueError("nth, times, and bits must be >= 1")
+        self._rots.append(_RotRule(rank, nth, times, bits))
+        return self
+
     # -- hooks (called by the fabric / groups / engines) -------------------
 
     def note_step(self, rank: int, step: int) -> None:
@@ -265,11 +368,7 @@ class FaultPlan:
                     continue
                 if r.fired >= r.max_faults:
                     continue
-                rng = self._rngs.get(rank)
-                if rng is None:
-                    rng = self._rngs[rank] = np.random.default_rng(
-                        np.random.SeedSequence([self.seed, rank])
-                    )
+                rng = self._rng_for_locked(rank)
                 if rng.random() < r.prob:
                     r.fired += 1
                     self.events.append(FaultEvent("transient", rank, op, "random"))
@@ -304,7 +403,119 @@ class FaultPlan:
                 return rule.delay_s
         return None
 
+    # -- corruption hooks (raise nothing, by design) -----------------------
+
+    def corrupt_payload(
+        self, rank: int, op: str, array: np.ndarray, when: str
+    ) -> np.ndarray | None:
+        """Group hook around a collective's data payload. Returns a
+        corrupted *copy* when a flip rule fires (the caller's resident
+        array is never touched — this models in-flight corruption), else
+        ``None``. Never raises."""
+        if not self._flips or not isinstance(array, np.ndarray) or array.size == 0:
+            return None
+        with self._lock:
+            out = None
+            for rule in self._flips:
+                if rule.when != when:
+                    continue
+                if rule.rank is not None and rule.rank != rank:
+                    continue
+                if rule.op is not None and rule.op != op:
+                    continue
+                c = rule.counts.get(rank, 0) + 1
+                rule.counts[rank] = c
+                if not (rule.nth <= c < rule.nth + rule.times):
+                    continue
+                rule.fired += 1
+                if out is None:
+                    out = np.array(array, copy=True)
+                self._flip_array_locked(rank, out, rule.bits)
+                self.events.append(
+                    FaultEvent("bitflip", rank, op,
+                               f"{when}-reduce, {rule.bits} bit(s), match {c}")
+                )
+            return out
+
+    def scribbles_due(self, rank: int, step: int) -> list[_ScribbleRule]:
+        """Engine hook at optimizer-step boundaries: consume and return
+        the scribble rules firing for this rank at this step. The engine
+        applies them via ``corrupt_array_inplace`` (it owns the target
+        tensors); consumed rules stay consumed across restarts, so a
+        rolled-back run does not re-corrupt itself."""
+        if not self._scribbles:
+            return []
+        with self._lock:
+            due = []
+            for rule in self._scribbles:
+                if rule.fired or rule.rank != rank or step < rule.at_step:
+                    continue
+                rule.fired = True
+                due.append(rule)
+                self.events.append(
+                    FaultEvent("scribble", rank, "step",
+                               f"{rule.target} at step {step}, {rule.bits} bit(s)")
+                )
+            return due
+
+    def corrupt_array_inplace(self, rank: int, array: np.ndarray, bits: int) -> None:
+        """Flip ``bits`` seeded bits of ``array`` in place (scribble
+        application; deterministic per ``(seed, rank)``)."""
+        with self._lock:
+            self._flip_array_locked(rank, array, bits)
+
+    def on_checkpoint_saved(self, rank: int, path) -> bool:
+        """Checkpoint-writer hook after a rank file is durably written;
+        flips bits in the file when a rot rule matches. Returns whether
+        the file was corrupted. Never raises."""
+        if not self._rots:
+            return False
+        with self._lock:
+            rotted = False
+            for rule in self._rots:
+                if rule.rank is not None and rule.rank != rank:
+                    continue
+                c = rule.counts.get(rank, 0) + 1
+                rule.counts[rank] = c
+                if not (rule.nth <= c < rule.nth + rule.times):
+                    continue
+                rule.fired += 1
+                self._rot_file_locked(rank, pathlib.Path(path), rule.bits)
+                self.events.append(
+                    FaultEvent("ckpt-rot", rank, "checkpoint",
+                               f"{pathlib.Path(path).name}, {rule.bits} bit(s), save {c}")
+                )
+                rotted = True
+            return rotted
+
     # -- internals ---------------------------------------------------------
+
+    def _rng_for_locked(self, rank: int) -> np.random.Generator:
+        rng = self._rngs.get(rank)
+        if rng is None:
+            rng = self._rngs[rank] = np.random.default_rng(
+                np.random.SeedSequence([self.seed, rank])
+            )
+        return rng
+
+    def _flip_array_locked(self, rank: int, array: np.ndarray, bits: int) -> None:
+        rng = self._rng_for_locked(rank)
+        flat = array.reshape(-1).view(np.uint8)
+        for _ in range(bits):
+            flat[int(rng.integers(flat.size))] ^= np.uint8(
+                1 << int(rng.integers(8))
+            )
+
+    def _rot_file_locked(self, rank: int, path: pathlib.Path, bits: int) -> None:
+        rng = self._rng_for_locked(rank)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            for _ in range(bits):
+                offset = int(rng.integers(size))
+                f.seek(offset)
+                byte = f.read(1)[0]
+                f.seek(offset)
+                f.write(bytes([byte ^ (1 << int(rng.integers(8)))]))
 
     def _fire_kill(self, rule: _KillRule, detail: str) -> None:
         rule.fired = True

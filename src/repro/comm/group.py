@@ -93,6 +93,28 @@ class ProcessGroup:
 
     # -- fault-aware rendezvous entry ----------------------------------------
 
+    def _maybe_corrupt(self, rank: int, op: str, payload, when: str):
+        """Consult the fault plan's silent bit-flip rules on a collective
+        payload (repro.comm.faults.flip_bits). ``"pre"`` corrupts this
+        rank's contribution (a copy — the caller's resident array is
+        untouched, modeling in-flight corruption); ``"post"`` corrupts
+        the result this rank receives. Emits a telemetry instant and an
+        ``sdc_injections`` counter through the ledger's listener when a
+        flip fires; raises nothing."""
+        plan = self.fabric.fault_plan
+        if plan is None or not isinstance(payload, np.ndarray):
+            return payload
+        out = plan.corrupt_payload(rank, op, payload, when)
+        if out is None:
+            return payload
+        tracer = getattr(self._ledgers.get(rank), "listener", None)
+        if tracer is not None:
+            tracer.instant("sdc-bitflip", op=op, when=when)
+            registry = getattr(tracer, "registry", None)
+            if registry is not None:
+                registry.counter("sdc_injections", rank=rank, kind="bitflip").add(1)
+        return out
+
     def _exchange(self, rank: int, value, tag, op: str) -> list:
         """Enter the rendezvous, consulting the fabric's fault plan first.
 
@@ -108,6 +130,10 @@ class ProcessGroup:
         plan = self.fabric.fault_plan
         if plan is None:
             return self._rendezvous.exchange(rank, value, tag)
+        # Pre-reduce corruption happens once per logical collective, not
+        # per retry attempt: the flipped contribution is what every
+        # attempt would have carried.
+        value = self._maybe_corrupt(rank, op, value, "pre")
         policy = self.fabric.retry_policy
         deadline = (
             time.monotonic() + policy.deadline_s
@@ -164,7 +190,9 @@ class ProcessGroup:
         """Reduce everyone's array and return the result to all ranks."""
         contributions = self._exchange(rank, array, ("all_reduce", array.shape), "all_reduce")
         self._record(rank, "all_reduce", array.nbytes, phase)
-        return _reduce_arrays(contributions, op)
+        return self._maybe_corrupt(
+            rank, "all_reduce", _reduce_arrays(contributions, op), "post"
+        )
 
     def reduce(
         self, rank: int, array: np.ndarray, dst: int, op: str = "sum", phase: str = ""
@@ -174,7 +202,9 @@ class ProcessGroup:
         contributions = self._exchange(rank, array, ("reduce", dst, array.shape), "reduce")
         self._record(rank, "reduce", array.nbytes, phase)
         if rank == dst:
-            return _reduce_arrays(contributions, op)
+            return self._maybe_corrupt(
+                rank, "reduce", _reduce_arrays(contributions, op), "post"
+            )
         return None
 
     def reduce_scatter(
@@ -197,7 +227,10 @@ class ProcessGroup:
         shard = array.shape[0] // n
         idx = self.group_index(rank)
         lo, hi = idx * shard, (idx + 1) * shard
-        return _reduce_arrays([c[lo:hi] for c in contributions], op)
+        return self._maybe_corrupt(
+            rank, "reduce_scatter",
+            _reduce_arrays([c[lo:hi] for c in contributions], op), "post",
+        )
 
     def all_gather(self, rank: int, shard: np.ndarray, phase: str = "") -> np.ndarray:
         """Concatenate every rank's equal-length shard, in group order."""
@@ -207,7 +240,7 @@ class ProcessGroup:
             raise ValueError(f"all_gather shards have mismatched shapes: {lengths}")
         full = np.concatenate([np.asarray(s).ravel() for s in shards])
         self._record(rank, "all_gather", full.nbytes, phase)
-        return full
+        return self._maybe_corrupt(rank, "all_gather", full, "post")
 
     def broadcast(self, rank: int, array: np.ndarray | None, src: int, phase: str = "") -> np.ndarray:
         """Send ``src``'s array to every rank. Non-src inputs are ignored."""
@@ -217,6 +250,9 @@ class ProcessGroup:
         if payload is None:
             raise ValueError(f"broadcast: src rank {src} supplied no array")
         self._record(rank, "broadcast", payload.nbytes, phase)
+        corrupted = self._maybe_corrupt(rank, "broadcast", payload, "post")
+        if corrupted is not payload:
+            return corrupted  # already a private corrupted copy
         return payload if rank == src else payload.copy()
 
     def gather(self, rank: int, array: np.ndarray, dst: int, phase: str = "") -> list[np.ndarray] | None:

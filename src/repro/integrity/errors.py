@@ -1,0 +1,42 @@
+"""Errors raised by the SDC-defense layer."""
+
+from __future__ import annotations
+
+
+class CorruptionDetectedError(RuntimeError):
+    """Silent data corruption was detected by an integrity check.
+
+    Unlike ``RankKilledError`` (a crash fault), nothing raised at the
+    moment of corruption — a digest, audit, or sentinel caught the
+    damage after the fact. The ``Supervisor`` treats this as a *rollback*
+    trigger: the world is relaunched at the same size and the training
+    function resumes from the newest verified checkpoint; a repeat
+    offender rank is quarantined via the elastic shrink path.
+
+    ``kind`` identifies the detector:
+
+    * ``"shard-digest"`` — an owned shard's content digest changed
+      outside an optimizer update (scribble on resident state);
+    * ``"cross-rank"``   — replicated state disagrees across the DP
+      group (post-reduce payload flip, diverged replica);
+    * ``"sentinel"``     — a loss / gradient-norm spike on an *applied*
+      (non-overflow) step;
+    * ``"checkpoint"``   — a checkpoint shard failed checksum
+      verification.
+
+    ``rank`` is the implicated global rank when the detector can
+    attribute blame (cross-rank audits vote; local detectors blame
+    themselves), else ``None``.
+    """
+
+    def __init__(self, kind: str, *, rank: int | None, step: int, detail: str = ""):
+        msg = f"silent data corruption detected ({kind}) at step {step}"
+        if rank is not None:
+            msg += f" on rank {rank}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.kind = kind
+        self.rank = rank
+        self.step = step
+        self.detail = detail

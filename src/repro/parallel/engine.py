@@ -65,6 +65,12 @@ class EngineConfig:
     # Only the partitioned engines (ZeRO stages 1-3) support it; the
     # factory threads it through from ZeROConfig's offload_* flags.
     offload: "OffloadConfig | None" = None
+    # Optional repro.integrity.IntegrityConfig: SDC detectors (shard
+    # digest guard, cross-rank replicated-state audit, loss/grad-norm
+    # sentinels). None (the default) allocates nothing — same
+    # zero-overhead convention as fault plans and telemetry. The factory
+    # threads it through from ZeROConfig.audit_cadence.
+    integrity: "IntegrityConfig | None" = None
 
 
 @dataclass
@@ -82,6 +88,11 @@ class BaseEngine:
     #: ZeRO-Offload needs a partitioned optimizer (a ``part_numel`` range
     #: to ship host-side); stages 1-3 flip this on.
     supports_offload = False
+    #: whether this engine keeps the full fp16 parameters replicated on
+    #: every DP rank between steps — the invariant the integrity layer's
+    #: cross-rank audit compares. Stage 3 partitions parameters too and
+    #: flips this off (its per-unit materializations are transient).
+    replicates_params = True
 
     def __init__(
         self,
@@ -147,6 +158,10 @@ class BaseEngine:
             from repro.offload.engine import OffloadRuntime
 
             self.offload = OffloadRuntime(ctx, self.config.offload, model.config)
+        # SDC detector stack (repro.integrity). Constructed lazily at the
+        # first train_step — the subclass's optimizer state (the shards it
+        # fingerprints) does not exist yet at this point in __init__.
+        self.integrity = None
 
     # -- fused working buffer ------------------------------------------------
 
@@ -173,6 +188,14 @@ class BaseEngine:
     def train_step(self, token_ids: np.ndarray | Tensor, targets: np.ndarray | Tensor) -> StepResult:
         """One micro-batch forward/backward; the optimizer runs on
         gradient-accumulation boundaries (every step by default)."""
+        if (
+            self.config.integrity is not None
+            and self.integrity is None
+            and not self.is_meta
+        ):
+            from repro.integrity.audit import IntegrityAuditor
+
+            self.integrity = IntegrityAuditor(self, self.config.integrity)
         self._micro_step += 1
         boundary = self._micro_step % self.config.gradient_accumulation_steps == 0
         if boundary:
@@ -181,6 +204,10 @@ class BaseEngine:
             if plan is not None:
                 # Kill-at-step fault rules fire here (repro.comm.faults).
                 plan.note_step(self.ctx.rank, self.step_count)
+                # Silent scribble rules fire here too — corrupting owned
+                # shards without raising. Only the integrity detectors
+                # (when enabled) can tell.
+                self._apply_scribbles(plan)
         free_inputs = []
         if isinstance(token_ids, Tensor):
             ids_t = token_ids
@@ -233,6 +260,11 @@ class BaseEngine:
         applied = False
         step_time_s = 0.0
         if boundary:
+            if self.integrity is not None:
+                # Verify owned shards *before* the optimizer consumes them
+                # (a scribble must not be laundered into a legitimate
+                # update), then the cadence-gated cross-rank audit.
+                self.integrity.on_boundary(self.step_count)
             self._mark("reduce")
             if tr is not None:
                 tr.begin("grad-reduce")
@@ -248,6 +280,8 @@ class BaseEngine:
                 if tr is not None:
                     self.offload.trace_step(tr, step_t0)
             self._release_gradients()
+            if self.integrity is not None:
+                self.integrity.after_optimizer(self.step_count, applied, loss_value)
             if tr is not None:
                 tr.sample_memory(self.ctx.device)
                 tr.end()  # optimizer
@@ -269,6 +303,44 @@ class BaseEngine:
 
     # -- hooks -------------------------------------------------------------------
 
+    def integrity_shards(self) -> dict[str, np.ndarray]:
+        """Flat arrays this rank solely owns, for the integrity layer's
+        digest guard (and the fault plan's scribble targets): the fp32
+        master / Adam moments, plus the stage-3 fp16 parameter shard.
+        Works for device- and host-resident (ZeRO-Offload) placement
+        alike — both expose the raw array as ``.data``."""
+        shards = {
+            "master": self.opt_state.master.data,
+            "m": self.opt_state.m.data,
+            "v": self.opt_state.v.data,
+        }
+        param_shard = getattr(self, "param_shard", None)
+        if param_shard is not None:
+            shards["param_shard"] = param_shard.data
+        return shards
+
+    def _apply_scribbles(self, plan) -> None:
+        """Apply due scribble rules to the owned shards (silent device-
+        memory corruption). The plan raises nothing — detection is the
+        integrity layer's job."""
+        due = plan.scribbles_due(self.ctx.rank, self.step_count)
+        if not due or self.is_meta:
+            return
+        shards = self.integrity_shards()
+        for rule in due:
+            target = shards.get(rule.target)
+            if target is None:
+                continue  # engine has no such shard (e.g. param_shard below stage 3)
+            plan.corrupt_array_inplace(self.ctx.rank, target, rule.bits)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "sdc-scribble", target=rule.target, step=self.step_count
+                )
+                if self.tracer.registry is not None:
+                    self.tracer.registry.counter(
+                        "sdc_injections", rank=self.ctx.rank, kind="scribble"
+                    ).add(1)
+
     def _clip_factor(self, local_norm_sq: float, *, partitioned: bool) -> float:
         """Global-norm clip factor for this step (1.0 when clipping is off).
 
@@ -277,6 +349,13 @@ class BaseEngine:
         accounting); replicated-gradient engines already hold the global
         norm locally.
         """
+        if self.integrity is not None:
+            # Every engine routes its (applied-step) gradient norm^2
+            # through here, clipping or not — a free tap for the
+            # grad-norm spike sentinel. Partitioned engines feed their
+            # partition's norm: a corrupted contribution lands in one
+            # owner's shard, and that owner's sentinel fires.
+            self.integrity.note_grad_norm(local_norm_sq)
         clip = self.config.grad_clip_norm
         if clip is None:
             return 1.0

@@ -27,9 +27,21 @@ survivors, re-shard the partitioned state to the new degree, and resume.
    space), so the recovered trajectory matches an uninterrupted M-rank
    run resumed from the same checkpoint exactly.
 
+Silent data corruption (``CorruptionDetectedError`` from the
+``repro.integrity`` detectors) follows the same loop with a different
+policy: no rank died, so the world is relaunched at the *same* size — a
+**rollback** — and the training function resumes from the newest
+*verified* checkpoint (``VerifiedCheckpointRing.latest_verified`` /
+``latest_checkpoint``, both of which reject shards failing checksum
+verification). Resumption is bitwise-deterministic, so a rolled-back run
+converges to exactly the fault-free trajectory. A rank implicated in
+``RestartPolicy.quarantine_after`` corruption detections is presumed to
+have bad hardware and is **quarantined**: the world shrinks by one via
+the same elastic re-shard path a dead rank takes.
+
 Only communication-layer failures (``RankKilledError``,
-``FabricAbortedError``) trigger a restart; programming errors in the
-training function propagate immediately.
+``FabricAbortedError``) and detected corruption trigger a restart;
+programming errors in the training function propagate immediately.
 """
 
 from __future__ import annotations
@@ -42,6 +54,7 @@ from typing import Any
 from repro.comm.fabric import FabricAbortedError
 from repro.comm.faults import FaultPlan, RankKilledError, RetryPolicy
 from repro.hardware.specs import GPUSpec, V100_32GB
+from repro.integrity.errors import CorruptionDetectedError
 from repro.runtime import Cluster
 
 
@@ -52,12 +65,20 @@ class RestartPolicy:
     max_restarts: int = 3       # relaunches before the failure is re-raised
     min_world_size: int = 1     # below this many survivors, give up
     restart_backoff_s: float = 0.0  # pause between teardown and relaunch
+    # Corruption detections attributed to the same rank before that rank
+    # is presumed bad hardware and quarantined (elastic shrink by one).
+    # Below the threshold a detection triggers a same-world rollback.
+    quarantine_after: int = 2
 
     def __post_init__(self):
         if self.max_restarts < 0:
             raise ValueError(f"max_restarts must be >= 0, got {self.max_restarts}")
         if self.min_world_size < 1:
             raise ValueError(f"min_world_size must be >= 1, got {self.min_world_size}")
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
 
 
 @dataclass(frozen=True)
@@ -69,6 +90,9 @@ class RestartEvent:
     world_after: int
     killed_ranks: tuple[int, ...]  # old-world numbering; empty for transients
     error: str
+    # "failure" (crash fault), "rollback" (corruption, same world), or
+    # "quarantine" (corruption, repeat offender removed).
+    kind: str = "failure"
 
 
 @dataclass
@@ -113,8 +137,15 @@ class Supervisor:
         #: optional ``repro.telemetry.TelemetrySession`` threaded into every
         #: attempt's Cluster. Tracers are keyed by rank inside the session,
         #: so a relaunched rank continues its timeline, and each restart /
-        #: give-up appears as a supervisor-track instant event.
+        #: rollback / quarantine / give-up appears as a supervisor-track
+        #: instant event (plus a counter in the session registry).
         self.telemetry = telemetry
+        #: corruption detections attributed per rank (current-world
+        #: numbering at detection time) — the quarantine escalation
+        #: counter. Note rank numbers shift when the world shrinks, so
+        #: attribution across a shrink is best-effort, like real
+        #: node-health bookkeeping keyed on hostnames that get recycled.
+        self.corruption_counts: dict[int, int] = {}
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> SupervisorReport:
         """Run ``fn(ctx, *args, **kwargs)`` to completion, restarting on
@@ -135,14 +166,31 @@ class Supervisor:
             )
             try:
                 results = cluster.run(fn, *args, **kwargs)
-            except (RankKilledError, FabricAbortedError) as exc:
+            except (RankKilledError, FabricAbortedError, CorruptionDetectedError) as exc:
                 newly_dead = tuple(
                     self.fault_plan.killed_ranks[known_dead:]
                 ) if self.fault_plan else ()
                 restarts += 1
-                new_world = world - len(newly_dead)
+                kind = "failure"
+                quarantined: tuple[int, ...] = ()
+                if isinstance(exc, CorruptionDetectedError):
+                    # Nobody died — relaunch at the same size and let the
+                    # training function resume from the newest *verified*
+                    # checkpoint (a rollback). A repeat offender gets
+                    # quarantined through the elastic shrink path instead.
+                    kind = "rollback"
+                    if exc.rank is not None:
+                        count = self.corruption_counts.get(exc.rank, 0) + 1
+                        self.corruption_counts[exc.rank] = count
+                        if count >= self.policy.quarantine_after:
+                            kind = "quarantine"
+                            quarantined = (exc.rank,)
+                            del self.corruption_counts[exc.rank]
+                removed = newly_dead + quarantined
+                new_world = world - len(removed)
                 events.append(
-                    RestartEvent(restarts, world, new_world, newly_dead, repr(exc))
+                    RestartEvent(restarts, world, new_world, removed, repr(exc),
+                                 kind=kind)
                 )
                 if self.telemetry is not None:
                     # Unwind spans the crashed attempt left open, then mark
@@ -153,14 +201,23 @@ class Supervisor:
                     or new_world < self.policy.min_world_size
                 )
                 if self.telemetry is not None:
+                    instant = {
+                        "failure": "supervisor-restart",
+                        "rollback": "supervisor-rollback",
+                        "quarantine": "supervisor-quarantine",
+                    }[kind]
                     self.telemetry.instant(
-                        "supervisor-gave-up" if gave_up else "supervisor-restart",
+                        "supervisor-gave-up" if gave_up else instant,
                         attempt=restarts,
+                        kind=kind,
                         world_before=world,
                         world_after=new_world,
-                        killed_ranks=list(newly_dead),
+                        killed_ranks=list(removed),
                         error=repr(exc),
                     )
+                    registry = getattr(self.telemetry, "registry", None)
+                    if registry is not None:
+                        registry.counter(f"supervisor_{kind}s").add(1)
                 if restarts > self.policy.max_restarts:
                     exc.add_note(
                         f"supervisor gave up: restart budget exhausted "

@@ -14,6 +14,12 @@ but never *corrupt* (half-written files). Loaders validate completeness:
 the directory must hold exactly ``meta.world_size`` rank files and every
 rank file's recorded step must agree with ``meta.json`` — a torn
 checkpoint (e.g. one rank's file from an older save) is rejected.
+Every array additionally carries a CRC-32 checksum recorded at save time
+(stored inside the same npz), verified on every load — so *bit rot at
+rest* (a flipped bit in a durably-written file) is rejected exactly like
+a torn save, and ``latest_checkpoint`` falls back to the previous
+verified checkpoint. The ``VerifiedCheckpointRing`` (repro.integrity)
+builds its rollback guarantees on this verification.
 
 Resuming is bitwise: training N steps, saving, loading, and training M
 more produces exactly the states of training N+M steps straight through
@@ -36,9 +42,12 @@ import json
 import os
 import pathlib
 import re
+import zipfile
+import zlib
 
 import numpy as np
 
+from repro.integrity.digest import digest_array
 from repro.parallel.engine import BaseEngine
 
 FORMAT_VERSION = 2
@@ -110,8 +119,24 @@ def save_checkpoint(engine: BaseEngine, directory: str | pathlib.Path) -> pathli
     }
     if hasattr(engine, "param_shard"):  # stage 3
         payload["param_shard"] = engine.param_shard.numpy()
+    # Per-array CRC-32 checksums, stored inside the same file so the
+    # checkpoint stays self-verifying: loaders reject any array whose
+    # bytes changed at rest (bit rot) — see _verify_checksums.
+    checksums = {k: digest_array(np.asarray(v)) for k, v in payload.items()}
+    payload["checksums"] = np.asarray(json.dumps(checksums))
     path = directory / f"rank{rank_index}.npz"
     _atomic_write_npz(path, payload)
+    plan = engine.ctx.fabric.fault_plan
+    if plan is not None and plan.on_checkpoint_saved(engine.ctx.rank, path):
+        # Injected bit rot (FaultPlan.rot_checkpoint): the save succeeded,
+        # the file is silently damaged — only checksum verify-on-load or
+        # the VerifiedCheckpointRing's post-save verification can tell.
+        if engine.tracer is not None:
+            engine.tracer.instant("sdc-ckpt-rot", path=str(path))
+            if engine.tracer.registry is not None:
+                engine.tracer.registry.counter(
+                    "sdc_injections", rank=engine.ctx.rank, kind="ckpt-rot"
+                ).add(1)
     if rank_index == 0:
         _atomic_write_text(
             directory / "meta.json", json.dumps(_meta_for(engine), indent=2)
@@ -165,6 +190,29 @@ def _check_rank_step(data, meta: dict, path: pathlib.Path) -> None:
         )
 
 
+def _verify_checksums(data, path: pathlib.Path) -> None:
+    """Every array must match the CRC-32 recorded at save time.
+
+    Catches bit rot at rest: a flipped bit in an array's bytes (or in the
+    npz container itself — numpy then raises, which callers map to the
+    same rejection). Checkpoints written before checksums existed carry
+    no ``checksums`` entry and are accepted as-is.
+    """
+    if "checksums" not in getattr(data, "files", ()):
+        return
+    expected = json.loads(str(data["checksums"][()]))
+    for key, crc in expected.items():
+        if key not in data.files:
+            raise ValueError(
+                f"corrupt checkpoint: {path.name} lost array {key!r}"
+            )
+        if digest_array(np.asarray(data[key])) != int(crc):
+            raise ValueError(
+                f"corrupt checkpoint: {path.name} array {key!r} fails its "
+                f"checksum (bit rot at rest)"
+            )
+
+
 def _check_untorn(directory: pathlib.Path, meta: dict) -> dict[int, pathlib.Path]:
     """Validate every rank file, not just the caller's own.
 
@@ -174,8 +222,16 @@ def _check_untorn(directory: pathlib.Path, meta: dict) -> dict[int, pathlib.Path
     """
     files = _check_complete(directory, meta)
     for path in files.values():
-        with np.load(path) as data:
-            _check_rank_step(data, meta, path)
+        try:
+            with np.load(path) as data:
+                _check_rank_step(data, meta, path)
+                _verify_checksums(data, path)
+        except (zipfile.BadZipFile, zlib.error, OSError) as exc:
+            # Bit rot can land in the npz container rather than an
+            # array's payload; normalize to the same rejection.
+            raise ValueError(
+                f"corrupt checkpoint: {path.name} is unreadable ({exc})"
+            ) from exc
     return files
 
 
@@ -196,7 +252,8 @@ def is_complete_checkpoint(directory: str | pathlib.Path) -> bool:
     directory = pathlib.Path(directory)
     try:
         _check_untorn(directory, _read_meta(directory))
-    except (ValueError, OSError, KeyError, json.JSONDecodeError):
+    except (ValueError, OSError, KeyError, json.JSONDecodeError,
+            zipfile.BadZipFile, zlib.error):
         return False
     return True
 
@@ -280,6 +337,10 @@ def load_checkpoint(engine: BaseEngine, directory: str | pathlib.Path) -> None:
             engine.param_shard.data[:] = data["param_shard"]
 
     _rebuild_fp16_params(engine)
+    if engine.integrity is not None:
+        # The owned shards were legitimately rewritten; refresh the
+        # digest guard's baseline so the restore isn't flagged.
+        engine.integrity.record_shards()
 
 
 def load_checkpoint_resharded(
@@ -316,6 +377,7 @@ def load_checkpoint_resharded(
         path = files[idx]
         with np.load(path) as data:
             _check_rank_step(data, meta, path)
+            _verify_checksums(data, path)
             for k in keys:
                 if k not in data:
                     raise ValueError(
@@ -349,3 +411,5 @@ def load_checkpoint_resharded(
         engine.param_shard.data[:] = reshard(pieces["param_shard"])
     _restore_scalars(engine, scalars)
     _rebuild_fp16_params(engine)
+    if engine.integrity is not None:
+        engine.integrity.record_shards()

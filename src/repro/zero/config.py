@@ -30,10 +30,20 @@ class ZeROConfig:
     # (repro.telemetry) to the context if the cluster didn't already
     # provide one. Off by default — disabled telemetry allocates nothing.
     telemetry: bool = False
+    # SDC defense (repro.integrity): run the cross-rank replicated-state
+    # audit every N optimizer steps, plus the per-boundary shard-digest
+    # guard and the loss/grad-norm sentinels. 0 (the default) disables
+    # the integrity layer entirely — no digests, no audit collectives,
+    # no allocations, byte-identical to a build without it.
+    audit_cadence: int = 0
 
     def __post_init__(self):
         if self.stage not in (0, 1, 2, 3):
             raise ValueError(f"ZeRO stage must be 0-3, got {self.stage}")
+        if self.audit_cadence < 0:
+            raise ValueError(
+                f"audit_cadence must be >= 0, got {self.audit_cadence}"
+            )
         if self.cpu_offload_activations and not self.partition_activations:
             raise ValueError("Pa+cpu requires partition_activations (Pa)")
         if self.offload_optimizer and self.stage < 1:
@@ -64,6 +74,8 @@ class ZeROConfig:
             extras.append("off-g+os" if self.offload_gradients else "off-os")
         if self.delayed_param_update:
             extras.append("DPU")
+        if self.audit_cadence:
+            extras.append(f"SDC@{self.audit_cadence}")
         return stage_name + (" + " + "+".join(extras) if extras else "")
 
 

@@ -69,6 +69,12 @@ def build_engine(
                 checkpointing=zero.checkpoint_activations,
             ),
         )
+    if zero.audit_cadence and config.integrity is None:
+        from repro.integrity import IntegrityConfig
+
+        config = replace(
+            config, integrity=IntegrityConfig(audit_cadence=zero.audit_cadence)
+        )
     return ENGINE_BY_STAGE[zero.stage](ctx, model, dp_group, config)
 
 

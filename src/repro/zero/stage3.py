@@ -42,6 +42,10 @@ class ZeroStage3Engine(BaseEngine):
 
     name = "zero3"
     supports_offload = True
+    #: parameters are partitioned too — there is no replicated fp16 copy
+    #: for the cross-rank integrity audit to compare (the digest guard
+    #: covers the param_shard instead; scalar state is still audited).
+    replicates_params = False
 
     def __init__(
         self,

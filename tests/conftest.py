@@ -43,6 +43,11 @@ def pytest_configure(config):
         "markers",
         "telemetry: span tracer / metrics registry / Chrome-trace export tests",
     )
+    config.addinivalue_line(
+        "markers",
+        "sdc: silent-data-corruption defense tests (bit-flip injection, "
+        "integrity audits, verified-checkpoint ring, supervisor rollback)",
+    )
 
 
 @pytest.hookimpl(wrapper=True)

@@ -52,6 +52,7 @@ FAST_EXAMPLES = [
     "config_advisor.py",
     "trillion_parameter_simulation.py",
     "scale_100b_simulation.py",
+    "sdc_rollback.py",
 ]
 
 

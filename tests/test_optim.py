@@ -114,6 +114,18 @@ class TestLossScaler:
         assert LossScaler.has_overflow(np.array([np.nan]))
         assert not LossScaler.has_overflow(np.array([1e30]))
 
+    def test_overflow_detection_each_nonfinite_kind_alone(self):
+        """NaN-only, +Inf-only, and -Inf-only gradients must each trip the
+        overflow check on their own (the integrity sentinels rely on this
+        taxonomy: non-finite -> overflow path, finite spike -> corruption)."""
+        finite = np.full(7, 1e-3, dtype=np.float32)
+        for bad in (np.nan, np.inf, -np.inf):
+            grad = finite.copy()
+            grad[3] = bad
+            assert LossScaler.has_overflow(grad), bad
+        assert not LossScaler.has_overflow(finite)
+        assert not LossScaler.has_overflow(np.array([np.finfo(np.float16).max]))
+
     def test_invalid_scale(self):
         with pytest.raises(ValueError):
             LossScaler(0)

@@ -373,6 +373,74 @@ class TestSupervisorTelemetry:
         assert names == ["supervisor-gave-up"]
 
 
+# -- SDC defense instants / counters -----------------------------------------
+
+
+@pytest.mark.faults
+@pytest.mark.sdc
+class TestSdcTelemetry:
+    def test_injection_detection_and_rollback_reach_the_trace(self, tmp_path):
+        """A supervised rollback run leaves a complete SDC audit trail:
+        injection and detection instants on the victim's track, audit and
+        checkpoint-verification counters, and a supervisor-rollback global
+        instant — all in a trace that still validates."""
+        from repro import VerifiedCheckpointRing
+        from repro.data import SyntheticCorpus
+        from repro.zero.checkpoint_io import load_checkpoint_resharded
+
+        session = TelemetrySession()
+        corpus = SyntheticCorpus(CFG.vocab_size, seed=7)
+        plan = FaultPlan(seed=11).scribble_tensor(rank=1, at_step=3, target="m")
+        sup = Supervisor(2, gpu=GPU, fault_plan=plan, timeout_s=15.0,
+                         telemetry=session)
+        zero = ZeROConfig(stage=2, checkpoint_activations=False,
+                          memory_defrag=False, audit_cadence=1)
+
+        def train_fn(ctx):
+            model, engine = build_model_and_engine(
+                ctx, CFG, zero, dp_group=ctx.world, dtype=np.float32, seed=0,
+            )
+            ring = VerifiedCheckpointRing(tmp_path / "ring", keep=2)
+            latest = ring.latest_verified()
+            if latest is not None:
+                load_checkpoint_resharded(engine, latest)
+            for step in range(engine.step_count, 4):
+                ids, tgt = corpus.sample_batch(2, 16, rank=ctx.rank, step=step)
+                engine.train_step(ids, tgt)
+                if engine.step_count % 2 == 0:
+                    ring.save(engine)
+            return engine.step_count
+
+        report = sup.run(train_fn)
+        assert report.restarts == 1 and report.events[0].kind == "rollback"
+
+        victim = session.tracers[1]
+        instant_names = [i.name for i in victim.instants]
+        assert "sdc-scribble" in instant_names
+        assert "sdc-detected" in instant_names
+        detected = next(i for i in victim.instants if i.name == "sdc-detected")
+        assert detected.args["kind"] == "shard-digest"
+
+        reg = session.registry
+        assert reg.counter("sdc_injections", rank=1, kind="scribble").value == 1
+        assert reg.counter("sdc_detections", rank=1, kind="shard-digest").value == 1
+        assert reg.counter("supervisor_rollbacks").value == 1
+        assert reg.counter("integrity_audits", rank=0, result="pass").value > 0
+        assert reg.counter("ckpt_verifications", rank=0, result="pass").value > 0
+
+        rollbacks = [e for e in session.global_instants
+                     if e.name == "supervisor-rollback"]
+        assert len(rollbacks) == 1
+        assert rollbacks[0].args["kind"] == "rollback"
+        assert rollbacks[0].args["world_after"] == 2
+
+        trace = session.chrome_trace()
+        validate_chrome_trace(trace)
+        names = {ev["name"] for ev in trace["traceEvents"] if ev["ph"] == "i"}
+        assert {"sdc-scribble", "sdc-detected", "supervisor-rollback",
+                "ckpt-verified"} <= names
+
+
 # -- offload side tracks -----------------------------------------------------
 
 
