@@ -31,7 +31,18 @@ def test_ablation_cb_buffers(benchmark, record_table):
                 for psi, no_cb, cb in rows
             ],
             title="Ablation — CB keeps temporary buffers constant",
-        )
+        ),
+        metrics={
+            **{
+                f"fused_buffer_no_cb_{psi/1e9:.0f}B": (no_cb / GB, "GB")
+                for psi, no_cb, cb in rows
+            },
+            **{
+                f"fused_buffer_cb_{psi/1e9:.0f}B": (cb / GB, "GB")
+                for psi, no_cb, cb in rows
+            },
+        },
+        config={"ablation": "cb", "section": "6.2"},
     )
     # Paper example: 3B params -> 12 GB fp32 fused buffer without CB.
     no_cb_3b = dict((r[0], r[1]) for r in rows)[3e9]

@@ -1,8 +1,17 @@
 """Ablation — MD (memory defragmentation, Section 6.3): the interleaved
 short/long lifetime workload OOMs from fragmentation without MD and
-completes with it, at identical total live bytes."""
+completes with it, at identical total live bytes.
 
+The fragmentation numbers come from the memory observatory
+(``repro.memprof.fragmentation_ratio`` / ``device_stats``) rather than the
+raw allocator, and each run carries a ``MemoryProfiler`` with provenance
+scopes so the no-MD failure also exercises the fragmentation-vs-capacity
+postmortem verdict.
+"""
+
+from repro import memprof
 from repro.hardware.specs import GPUSpec
+from repro.memprof import MemoryProfiler
 from repro.memsim.device import Device
 from repro.memsim.errors import FragmentationError
 from repro.utils.tables import format_table
@@ -17,34 +26,54 @@ def run_workload(with_md: bool):
     checkpoints = []
     outcome = "completed"
     frag = 0.0
-    try:
-        for i in range(10):
-            act = device.alloc((2 + i) * MB, tag="act")
-            checkpoints.append(device.alloc(1 * MB, tag="ckpt"))
-            device.free(act)
-        frag = device.raw.stats().external_fragmentation
-        fused = device.alloc(14 * MB, tag="fused")
-        device.free(fused)
-    except FragmentationError:
-        outcome = "OOM (fragmentation)"
-        frag = device.raw.stats().external_fragmentation
-    return outcome, frag
+    verdict = ""
+    with MemoryProfiler(device, self_check=True):
+        try:
+            for i in range(10):
+                with memprof.category("activation", site="md-bench-act"):
+                    act = device.alloc((2 + i) * MB, tag="act")
+                with memprof.category("activation_ckpt", site="md-bench-ckpt"):
+                    checkpoints.append(device.alloc(1 * MB, tag="ckpt"))
+                device.free(act)
+            frag = memprof.fragmentation_ratio(device)
+            with memprof.category("temp", site="md-bench-fused"):
+                fused = device.alloc(14 * MB, tag="fused")
+            device.free(fused)
+        except FragmentationError as exc:
+            outcome = "OOM (fragmentation)"
+            frag = memprof.fragmentation_ratio(device)
+            verdict = exc.postmortem.verdict if exc.postmortem else ""
+    stats = memprof.device_stats(device)
+    return outcome, frag, verdict, stats
 
 
 def test_ablation_md_defrag(benchmark, record_table):
     def run_both():
         return run_workload(False), run_workload(True)
 
-    (no_md, no_md_frag), (md, md_frag) = benchmark(run_both)
+    (no_md, no_md_frag, no_md_verdict, no_md_stats), (md, md_frag, _, md_stats) = (
+        benchmark(run_both)
+    )
     record_table(
         format_table(
-            ["config", "outcome", "heap fragmentation"],
+            ["config", "outcome", "heap fragmentation", "largest free (MB)"],
             [
-                ["no MD", no_md, f"{no_md_frag:.2f}"],
-                ["MD", md, f"{md_frag:.2f}"],
+                ["no MD", no_md, f"{no_md_frag:.2f}",
+                 f"{no_md_stats.largest_free_block / MB:.1f}"],
+                ["MD", md, f"{md_frag:.2f}",
+                 f"{md_stats.largest_free_block / MB:.1f}"],
             ],
             title="Ablation — MD prevents fragmentation OOM (Section 6.3)",
-        )
+        ),
+        metrics={
+            "fragmentation_no_md": no_md_frag,
+            "fragmentation_md": md_frag,
+            "largest_free_no_md": (no_md_stats.largest_free_block / MB, "MB"),
+            "largest_free_md": (md_stats.largest_free_block / MB, "MB"),
+        },
+        config={"ablation": "md", "section": "6.3"},
     )
     assert no_md == "OOM (fragmentation)"
+    assert no_md_verdict == "fragmentation"  # the postmortem names the mode
+    assert no_md_frag > md_frag  # MD keeps the long-lived heap compact
     assert md == "completed"

@@ -5,5 +5,12 @@ from repro.experiments import fig3
 
 def test_fig3_superlinear(benchmark, record_table):
     rows = benchmark(fig3.run)
-    record_table(fig3.render(rows))
+    record_table(
+        fig3.render(rows),
+        metrics={
+            f"aggregate_pflops_{r.n_gpus}gpus": (r.aggregate_pflops, "PFLOPs")
+            for r in rows
+        },
+        config={"figure": "fig3", "model": "60B"},
+    )
     assert rows[1].aggregate_pflops > 2 * rows[0].aggregate_pflops  # 64->128 doubles+

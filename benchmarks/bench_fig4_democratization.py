@@ -5,7 +5,18 @@ from repro.experiments import fig4
 
 def test_fig4_democratization(benchmark, record_table):
     rows = benchmark(fig4.run)
-    record_table(fig4.render(rows))
     zero_max = max(r.psi_b for r in rows if r.system == "zero")
     base_max = max(r.psi_b for r in rows if r.system == "baseline")
+    record_table(
+        fig4.render(rows),
+        metrics={
+            "max_model_zero": (zero_max, "B params"),
+            "max_model_baseline": (base_max, "B params"),
+            **{
+                f"tflops_{r.system}_{r.label}": (r.tflops_per_gpu, "TFLOPs/GPU")
+                for r in rows
+            },
+        },
+        config={"figure": "fig4"},
+    )
     assert zero_max > 12 and base_max < 1.5

@@ -5,7 +5,13 @@ from repro.experiments import fig5
 
 def test_fig5_turing_nlg(benchmark, record_table):
     curves = benchmark.pedantic(fig5.run, kwargs={"steps": 20}, rounds=1, iterations=1)
-    record_table(fig5.render(curves))
+    record_table(
+        fig5.render(curves),
+        metrics={
+            f"final_val_ppl_{c.label}": c.final for c in curves
+        },
+        config={"figure": "fig5", "steps": 20},
+    )
     ddp, zero_small, zero_large = curves
     assert ddp.val_perplexity == zero_small.val_perplexity  # bitwise identical
     assert zero_large.final < ddp.final  # the bigger model wins

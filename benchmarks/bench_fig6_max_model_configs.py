@@ -5,7 +5,13 @@ from repro.experiments import fig6
 
 def test_fig6_max_model_configs(benchmark, record_table):
     rows = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
-    record_table(fig6.render(rows))
+    record_table(
+        fig6.render(rows),
+        metrics={
+            f"max_params_{r.config}": (r.max_params_b, "B params") for r in rows
+        },
+        config={"figure": "fig6"},
+    )
     sizes = {r.config: r.max_params_b for r in rows}
     assert sizes["C1"] < sizes["C2"]  # Pa: 40B -> 60B style jump
     assert sizes["C4"] > 2 * sizes["C1"]  # Pos+g: toward 140B

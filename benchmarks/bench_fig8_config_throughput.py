@@ -5,7 +5,14 @@ from repro.experiments import fig8
 
 def test_fig8_config_throughput(benchmark, record_table):
     rows = benchmark(fig8.run)
-    record_table(fig8.render(rows))
+    record_table(
+        fig8.render(rows),
+        metrics={
+            f"tflops_{r.model}_{r.config}": (r.tflops_per_gpu, "TFLOPs/GPU")
+            for r in rows if r.runnable
+        },
+        config={"figure": "fig8"},
+    )
     index = {(r.model, r.config): r for r in rows}
     assert index[("60B", "C4")].tflops_per_gpu > index[("60B", "C1")].tflops_per_gpu
     assert index[("60B", "C5")].tflops_per_gpu <= index[("60B", "C4")].tflops_per_gpu

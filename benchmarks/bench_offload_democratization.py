@@ -9,7 +9,21 @@ pytestmark = pytest.mark.offload
 
 def test_offload_democratization(benchmark, record_table):
     result = benchmark(offload_sweep.run)
-    record_table(offload_sweep.render(result))
+    record_table(
+        offload_sweep.render(result),
+        metrics={
+            **{
+                f"offload_max_psi_b_{row.budget_gb:.0f}gb": (row.offload_psi_b, "B params")
+                for row in result.fit_rows
+            },
+            **{
+                f"device_max_psi_b_{row.budget_gb:.0f}gb": (row.device_psi_b, "B params")
+                for row in result.fit_rows
+            },
+            "max_step_time_rel_err": max(r.rel_err for r in result.time_rows),
+        },
+        config={"experiment": "offload-democratization"},
+    )
     # Offload must strictly enlarge the max trainable model at every budget.
     for row in result.fit_rows:
         assert row.offload_psi_b > row.device_psi_b, row

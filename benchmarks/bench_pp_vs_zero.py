@@ -47,7 +47,18 @@ def test_pp_vs_zero(benchmark, record_table):
                 for d, m, b, tb, pp, z in rows
             ],
             title=f"Section 2.1 — GPipe vs full ZeRO, {PSI/1e9:.0f}B params",
-        )
+        ),
+        metrics={
+            **{
+                f"gpipe_gb_per_device_{d}dev": (pp / GB, "GB")
+                for d, m, b, tb, pp, z in rows
+            },
+            **{
+                f"zero3_gb_per_device_{d}dev": (z / GB, "GB")
+                for d, m, b, tb, pp, z in rows
+            },
+        },
+        config={"section": "2.1", "psi_b": PSI / 1e9},
     )
     for devices, micro, _, _, pp, z in rows:
         # "the same or better memory efficiency than PP": equal within 2%

@@ -7,6 +7,13 @@ from repro.experiments import sec7
 
 def test_sec7_comm_volume(benchmark, record_table):
     rows = benchmark.pedantic(sec7.run, rounds=1, iterations=1)
-    record_table(sec7.render(rows))
+    record_table(
+        sec7.render(rows),
+        metrics={
+            f"comm_volume_psi_stage{r.stage}": (r.measured_psi, "elements/psi")
+            for r in rows
+        },
+        config={"section": "7"},
+    )
     for row in rows:
         assert row.measured_psi == pytest.approx(row.expected_psi, abs=1e-6)

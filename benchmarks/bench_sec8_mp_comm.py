@@ -5,7 +5,20 @@ from repro.experiments import sec8
 
 def test_sec8_mp_comm(benchmark, record_table):
     results = benchmark.pedantic(sec8.run, rounds=1, iterations=1)
-    record_table(sec8.render(results))
+    record_table(
+        sec8.render(results),
+        metrics={
+            **{
+                f"pa_overhead_fraction_{r.store}": r.pa_overhead_fraction
+                for r in results
+            },
+            **{
+                f"cpu_transfer_elems_{r.store}": (r.cpu_transfer_elems, "elements")
+                for r in results
+            },
+        },
+        config={"section": "8"},
+    )
     by_store = {r.store: r for r in results}
     assert by_store["pa"].pa_overhead_fraction < 0.10
     assert by_store["pa+cpu"].cpu_transfer_elems > 0

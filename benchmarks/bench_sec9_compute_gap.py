@@ -5,7 +5,14 @@ from repro.experiments import sec9
 
 def test_sec9_compute_gap(benchmark, record_table):
     rows = benchmark(sec9.run)
-    record_table(sec9.render(rows))
+    record_table(
+        sec9.render(rows),
+        metrics={"n_claims": len(rows)},
+        config={
+            "section": "9",
+            "claims": {r.claim: r.reproduced for r in rows},
+        },
+    )
     by_claim = {r.claim: r.reproduced for r in rows}
     assert "fits=True" in by_claim["1T fits on 1024 GPUs with Pos+g+p"]
     assert by_claim["train time, same hardware+tokens"].startswith(("140", "141"))

@@ -5,6 +5,12 @@ from repro.experiments import table1
 
 def test_table1_memory_vs_dp(benchmark, record_table):
     cells = benchmark(table1.run)
-    record_table(table1.render(cells))
+    record_table(
+        table1.render(cells),
+        metrics={
+            f"gb_{c.model}_nd{c.nd}_stage{c.stage}": (c.gb, "GB") for c in cells
+        },
+        config={"table": "table1"},
+    )
     index = {(c.model, c.nd, c.stage): c for c in cells}
     assert index[("1T", 1024, 3)].fits_32gb  # the trillion-parameter headline

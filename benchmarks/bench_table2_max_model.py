@@ -5,7 +5,20 @@ from repro.experiments import table2
 
 def test_table2_max_model(benchmark, record_table):
     rows = benchmark.pedantic(table2.run, rounds=1, iterations=1)
-    record_table(table2.render(rows))
+    record_table(
+        table2.render(rows),
+        metrics={
+            **{
+                f"measured_baseline_b_mp{r.mp}": (r.measured_baseline_b, "B params")
+                for r in rows
+            },
+            **{
+                f"measured_pos_b_mp{r.mp}": (r.measured_pos_b, "B params")
+                for r in rows
+            },
+        },
+        config={"table": "table2"},
+    )
     first = rows[0]
     # Paper: baseline ~1.3B measured, Pos ~6.2B measured at MP=1/64 GPUs.
     assert 1.0 <= first.measured_baseline_b <= 2.0

@@ -19,7 +19,7 @@ CORPUS = SyntheticCorpus(128, seed=0)
 
 
 @pytest.mark.parametrize("stage", [0, 1, 2, 3])
-def test_train_step_wall_time(benchmark, stage):
+def test_train_step_wall_time(benchmark, record_table, stage):
     def run_steps():
         cluster = Cluster(2, gpu=GPU, timeout_s=120.0)
 
@@ -37,10 +37,19 @@ def test_train_step_wall_time(benchmark, stage):
         return cluster.run(fn)
 
     losses = benchmark.pedantic(run_steps, rounds=3, iterations=1)
+    record_table(
+        f"training step (2 ranks, stage {stage}): final loss {losses[-1]:.4f}",
+        metrics={
+            "final_loss": float(losses[-1]),
+            "step_wall_time_mean": (benchmark.stats.get("mean"), "s"),
+        },
+        config={"stage": stage, "ranks": 2, "steps": 2},
+        name=f"training_step_stage{stage}",
+    )
     assert all(np.isfinite(v) for v in losses)
 
 
-def test_meta_step_wall_time_100b(benchmark):
+def test_meta_step_wall_time_100b(benchmark, record_table):
     """A 100B-parameter meta-mode step must stay sub-second per rank."""
     from repro.experiments.common import meta_memory_step
     from repro.zero.config import C4
@@ -50,5 +59,16 @@ def test_meta_step_wall_time_100b(benchmark):
     result = benchmark.pedantic(
         lambda: meta_memory_step(cfg, C4, n_gpus=400, mp=16, batch=32),
         rounds=3, iterations=1,
+    )
+    record_table(
+        f"meta-mode 100B step (C4): peak allocated {result.peak_allocated_gb:.1f} GB, "
+        f"max cached {result.max_cached_gb:.1f} GB",
+        metrics={
+            "peak_allocated_gb": (result.peak_allocated_gb, "GB"),
+            "max_cached_gb": (result.max_cached_gb, "GB"),
+            "meta_step_wall_time_mean": (benchmark.stats.get("mean"), "s"),
+        },
+        config={"model": "100B", "config": "C4", "n_gpus": 400, "mp": 16},
+        name="training_step_meta_100b",
     )
     assert result.fits

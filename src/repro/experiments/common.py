@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -39,6 +39,12 @@ class MetaMemoryResult:
     max_cached_bytes: int
     end_allocated_bytes: int
     oom_reason: str = ""
+    # Memory-observatory extras (memprof=True): per-category peak live
+    # bytes, whether the exact-attribution invariant held at every
+    # allocator event, and the postmortem's advisor hint on OOM.
+    category_peaks: dict[str, int] | None = field(default=None, compare=False)
+    memprof_ok: bool = False
+    oom_hint: str = ""
 
     @property
     def peak_allocated_gb(self) -> float:
@@ -47,6 +53,15 @@ class MetaMemoryResult:
     @property
     def max_cached_gb(self) -> float:
         return self.max_cached_bytes / GB
+
+    @property
+    def cached_gap_bytes(self) -> int:
+        """Peak reserved minus peak allocated — Figure 7's gap."""
+        return self.max_cached_bytes - self.peak_allocated_bytes
+
+    @property
+    def cached_gap_gb(self) -> float:
+        return self.cached_gap_bytes / GB
 
 
 def meta_memory_step(
@@ -60,13 +75,51 @@ def meta_memory_step(
     gpu: GPUSpec = V100_32GB,
     md_region_bytes: int | None = None,
     steps: int = 1,
+    memprof: bool = False,
 ) -> MetaMemoryResult:
     """Run ``steps`` meta-mode training steps on one virtual rank and report
-    the allocator's peak/cached figures (the Figure 7 measurement)."""
+    the allocator's peak/cached figures (the Figure 7 measurement).
+
+    With ``memprof=True`` a ``MemoryProfiler`` with ``self_check=True``
+    rides along: every allocation is attributed to a ZeRO state class and
+    the sum of per-category live bytes is verified against the device's
+    own allocated-bytes counter at every allocator event (the acceptance
+    invariant for the Figure 7 reproduction). OOMs then carry a
+    postmortem whose advisor hint is surfaced as ``oom_hint``.
+    """
     ctx = virtual_rank_context(n_gpus, gpu=gpu)
     dp_group, mp_group = virtual_groups(ctx, n_gpus, mp)
     if md_region_bytes is None and zero.memory_defrag:
         md_region_bytes = int(2 * GB)
+    profiler = None
+    if memprof:
+        from repro.memprof import MemoryProfiler, Workload
+
+        profiler = MemoryProfiler(
+            ctx.device,
+            self_check=True,
+            workload=Workload(model=model_config, n_gpus=n_gpus, mp=mp),
+        )
+
+    def _result(fits: bool, oom_reason: str = "", oom_hint: str = "") -> MetaMemoryResult:
+        peaks = None
+        ok = False
+        if profiler is not None:
+            profiler.verify_accounting()
+            peaks = dict(profiler.peak_by_category)
+            ok = True
+            profiler.detach()
+        return MetaMemoryResult(
+            fits=fits,
+            peak_allocated_bytes=ctx.device.max_allocated_bytes,
+            max_cached_bytes=ctx.device.max_reserved_bytes,
+            end_allocated_bytes=ctx.device.allocated_bytes,
+            oom_reason=oom_reason,
+            category_peaks=peaks,
+            memprof_ok=ok,
+            oom_hint=oom_hint,
+        )
+
     try:
         model, engine = build_model_and_engine(
             ctx, model_config, zero,
@@ -78,17 +131,8 @@ def meta_memory_step(
         for _ in range(steps):
             engine.train_step(ids, targets)
     except OutOfMemoryError as exc:
-        return MetaMemoryResult(
-            fits=False,
-            peak_allocated_bytes=ctx.device.max_allocated_bytes,
-            max_cached_bytes=ctx.device.max_reserved_bytes,
-            end_allocated_bytes=ctx.device.allocated_bytes,
-            oom_reason=type(exc).__name__,
-        )
-    return MetaMemoryResult(
-        fits=True,
-        peak_allocated_bytes=ctx.device.max_allocated_bytes,
-        max_cached_bytes=ctx.device.max_reserved_bytes,
-        end_allocated_bytes=ctx.device.allocated_bytes,
-    )
-
+        hint = ""
+        if exc.postmortem is not None:
+            hint = exc.postmortem.advisor_hint or exc.postmortem.headline()
+        return _result(False, oom_reason=type(exc).__name__, oom_hint=hint)
+    return _result(True)

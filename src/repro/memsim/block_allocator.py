@@ -113,6 +113,36 @@ class BlockAllocator:
         """Live allocations sorted by offset (for invariant checking)."""
         return sorted(self._live.values(), key=lambda e: e.offset)
 
+    def free_segments(self) -> list[tuple[int, int]]:
+        """Free holes as ``(offset, size)`` pairs sorted by offset."""
+        return [(b.offset, b.size) for b in self._free]
+
+    def snapshot(self) -> dict:
+        """JSON-serializable point-in-time view: live blocks + free holes.
+
+        This is the introspection surface the memory observatory
+        (``repro.memprof``) builds its fragmentation metrics and OOM
+        postmortems on — the simulated analog of
+        ``torch.cuda.memory_snapshot()``.
+        """
+        stats = self.stats()
+        return {
+            "allocator": "block",
+            "name": self.name,
+            "capacity": self.capacity,
+            "allocated": stats.allocated,
+            "free": stats.free,
+            "largest_free": stats.largest_free,
+            "external_fragmentation": stats.external_fragmentation,
+            "live_blocks": [
+                {"handle": e.handle, "offset": e.offset, "size": e.size, "tag": e.tag}
+                for e in self.live_extents()
+            ],
+            "free_segments": [
+                {"offset": off, "size": size} for off, size in self.free_segments()
+            ],
+        }
+
     def aligned(self, size: int) -> int:
         """Size after alignment rounding (what an allocation actually consumes)."""
         if size <= 0:

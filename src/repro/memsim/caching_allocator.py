@@ -93,6 +93,34 @@ class CachingAllocator:
         self.max_allocated = self._allocated
         self.max_reserved = self._reserved
 
+    def snapshot(self) -> dict:
+        """JSON-serializable view: live blocks, cached segments, the gap.
+
+        ``cached`` is the reserved-but-unallocated figure whose *peak* is
+        Figure 7's cached/allocated gap; the memory observatory reads it
+        from here rather than re-deriving it.
+        """
+        return {
+            "allocator": "caching",
+            "allocated": self._allocated,
+            "reserved": self._reserved,
+            "cached": self.cached_bytes,
+            "max_allocated": self.max_allocated,
+            "max_reserved": self.max_reserved,
+            "n_cache_hits": self.n_cache_hits,
+            "n_cache_misses": self.n_cache_misses,
+            "n_flushes": self.n_flushes,
+            "live_blocks": [
+                {"handle": e.handle, "offset": e.offset, "size": e.size, "tag": e.tag}
+                for e in sorted(self._live.values(), key=lambda e: e.offset)
+            ],
+            "cached_segments": [
+                {"handle": e.handle, "offset": e.offset, "size": e.size}
+                for e in sorted(self._cache_blocks, key=lambda e: e.offset)
+            ],
+            "backing": self.backing.snapshot(),
+        }
+
     # -- allocate / free -------------------------------------------------
 
     def alloc(self, size: int, tag: str = "") -> Extent:

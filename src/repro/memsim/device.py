@@ -26,6 +26,11 @@ from repro.memsim.errors import InvalidFreeError, OutOfMemoryError
 class Device:
     """One simulated GPU: capacity, caching allocator, peak accounting."""
 
+    # Attached memory observatory (repro.memprof.MemoryProfiler), if any.
+    # Class attribute so the default-off check is one attribute read and no
+    # per-device state exists until a profiler actually attaches.
+    profiler = None
+
     def __init__(self, spec: GPUSpec = V100_32GB, *, index: int = 0, use_cache: bool = True):
         self.spec = spec
         self.index = index
@@ -68,6 +73,13 @@ class Device:
     # -- allocation ------------------------------------------------------
 
     def alloc(self, size: int, tag: str = "") -> Extent:
+        try:
+            return self._alloc_impl(size, tag)
+        except OutOfMemoryError as exc:
+            self._annotate_oom(exc)
+            raise
+
+    def _alloc_impl(self, size: int, tag: str) -> Extent:
         if self._md_allocator is not None and self._md_predicate(tag):
             try:
                 inner = self._md_allocator.alloc(size, tag)
@@ -80,6 +92,20 @@ class Device:
         if self.cache is not None:
             return self.cache.alloc(size, tag)
         return self.raw.alloc(size, tag)
+
+    def _annotate_oom(self, exc: OutOfMemoryError) -> None:
+        """Enrich an escaping OOM with device totals (always) and, when the
+        memory observatory is attached, a structured postmortem."""
+        exc.attach_device_stats(
+            allocated=self.allocated_bytes,
+            reserved=self.reserved_bytes,
+            capacity=self.spec.memory_bytes,
+            largest_free=self.raw.largest_free_block,
+        )
+        if self.profiler is not None and exc.postmortem is None:
+            from repro.memprof.postmortem import build_postmortem
+
+            exc.postmortem = build_postmortem(self.profiler, exc)
 
     def free(self, extent: Extent) -> None:
         if extent.pool == "md":
@@ -121,6 +147,32 @@ class Device:
     def empty_cache(self) -> int:
         return self.cache.empty_cache() if self.cache else 0
 
+    def snapshot(self) -> dict:
+        """JSON-serializable device view: totals + per-allocator snapshots.
+
+        Works with or without a profiler attached; ``repro.memprof`` layers
+        provenance (categories, sites, phases) on top of this raw view.
+        """
+        snap = {
+            "device": self.name,
+            "capacity": self.spec.memory_bytes,
+            "allocated": self.allocated_bytes,
+            "reserved": self.reserved_bytes,
+            "cached": self.reserved_bytes - self.allocated_bytes,
+            "max_allocated": self.max_allocated_bytes,
+            "max_reserved": self.max_reserved_bytes,
+            "largest_free_block": self.raw.largest_free_block,
+            "external_fragmentation": self.raw.stats().external_fragmentation,
+            "md_region_bytes": self.md_region_bytes,
+            "md_used_bytes": (
+                self._md_allocator.allocated_bytes if self._md_allocator else 0
+            ),
+            "heap": (self.cache.snapshot() if self.cache else self.raw.snapshot()),
+        }
+        if self._md_allocator is not None:
+            snap["md"] = self._md_allocator.snapshot()
+        return snap
+
     def preallocate_region(self, size: int, tag: str = "md-region") -> "ContiguousRegion":
         """Carve a long-lived contiguous region (MD optimization)."""
         return ContiguousRegion(self, size, tag=tag)
@@ -137,6 +189,9 @@ class HostMemory:
     the host shows up here, and overflowing the pool fails loudly instead
     of silently pretending the host is infinite.
     """
+
+    # Attached memory observatory (repro.memprof.MemoryProfiler), if any.
+    profiler = None
 
     def __init__(self, capacity: int = int(1.5e12), *, name: str = "host"):
         if capacity <= 0:
@@ -178,9 +233,18 @@ class HostMemory:
         if size <= 0:
             raise ValueError(f"allocation size must be positive, got {size}")
         if self.allocated_bytes + size > self.capacity:
-            raise OutOfMemoryError(
-                size, self.capacity - self.allocated_bytes, 0, device=self.name
+            free = self.capacity - self.allocated_bytes
+            exc = OutOfMemoryError(size, free, free, device=self.name)
+            exc.attach_device_stats(
+                allocated=self.allocated_bytes,
+                reserved=self.reserved_bytes,
+                capacity=self.capacity,
             )
+            if self.profiler is not None and exc.postmortem is None:
+                from repro.memprof.postmortem import build_postmortem
+
+                exc.postmortem = build_postmortem(self.profiler, exc)
+            raise exc
         handle = self._next_handle
         self._next_handle += 1
         self._live[handle] = size

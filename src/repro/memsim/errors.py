@@ -5,6 +5,15 @@ Section 6.3): genuinely exhausted capacity, and *fragmentation* OOM where
 "over 30% of memory [is] still available" but no contiguous block satisfies
 the request. We keep them as separate exception types so tests and the MD
 experiments can assert which one occurred.
+
+``OutOfMemoryError`` carries structured fields rather than a baked string:
+the raising allocator fills ``requested``/``free``/``largest_free`` and the
+owning ``Device`` enriches the *same* exception object in flight with
+allocated/reserved/capacity totals (``attach_device_stats``) and — when the
+memory observatory is attached — a full ``repro.memprof`` postmortem
+report. ``__str__`` composes the message from whatever is known, so the
+diagnosis improves with context but the exception type and base attributes
+stay stable for existing handlers.
 """
 
 from __future__ import annotations
@@ -18,10 +27,40 @@ class OutOfMemoryError(MemoryError):
         self.free = free
         self.largest_free = largest_free
         self.device = device
-        super().__init__(
-            f"{device}: out of memory allocating {requested} bytes "
-            f"(free {free}, largest contiguous {largest_free})"
+        # Filled in by Device.alloc via attach_device_stats (always, even
+        # with memprof disabled) so OOM messages name the device totals.
+        self.allocated: int | None = None
+        self.reserved: int | None = None
+        self.capacity: int | None = None
+        # Filled in by the memory observatory when a profiler is attached.
+        self.postmortem = None
+        super().__init__()
+
+    def attach_device_stats(
+        self, *, allocated: int, reserved: int, capacity: int, largest_free: int | None = None
+    ) -> None:
+        """Enrich with device-level totals (called by ``Device.alloc``)."""
+        self.allocated = allocated
+        self.reserved = reserved
+        self.capacity = capacity
+        if largest_free is not None:
+            self.largest_free = largest_free
+
+    def __str__(self) -> str:
+        msg = (
+            f"{self.device}: out of memory allocating {self.requested} bytes "
+            f"(free {self.free}, largest contiguous {self.largest_free})"
         )
+        if self.allocated is not None:
+            cached = (self.reserved or 0) - self.allocated
+            msg += (
+                f" | device totals: capacity {self.capacity}, allocated {self.allocated},"
+                f" reserved {self.reserved}, cached {cached},"
+                f" largest free block {self.largest_free}"
+            )
+        if self.postmortem is not None:
+            msg += f"\n{self.postmortem.headline()}"
+        return msg
 
 
 class FragmentationError(OutOfMemoryError):

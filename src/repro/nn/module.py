@@ -22,6 +22,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.memprof.provenance import category as memprof_category
 from repro.memsim.device import Device
 from repro.tensor.tensor import Tensor
 
@@ -74,14 +75,23 @@ class Parameter:
             if g.dtype == self.grad_dtype:
                 self.grad = g
             else:
-                self.grad = Tensor(
-                    g.shape,
-                    self.grad_dtype,
-                    data=None if g.is_meta else g.data.astype(self.grad_dtype),
-                    device=g.device,
-                    tag=f"{self.name}.grad",
-                )
+                with memprof_category("grad_fp16", site=f"{self.name}.grad"):
+                    self.grad = Tensor(
+                        g.shape,
+                        self.grad_dtype,
+                        data=None if g.is_meta else g.data.astype(self.grad_dtype),
+                        device=g.device,
+                        tag=f"{self.name}.grad",
+                    )
                 g.free()
+            # The retained tensor changes role here (backward temporary ->
+            # parameter gradient); tell the observatory, if one is attached.
+            if self.grad.device is not None and self.grad.extent is not None:
+                prof = self.grad.device.profiler
+                if prof is not None:
+                    prof.recategorize(
+                        self.grad.extent, "grad_fp16", site=f"{self.name}.grad"
+                    )
             if self.grad_ready_hook is not None:
                 self.grad_ready_hook(self)
             return

@@ -21,6 +21,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.memprof.provenance import category as memprof_category
 from repro.memsim.device import Device
 from repro.nn.attention import MultiHeadAttention
 from repro.nn.layers import Embedding, LayerNorm, Linear
@@ -313,26 +314,27 @@ class GPT2Model(Module):
         super().__init__(name)
         self.config = config
         self.dtype = np.dtype(dtype)
-        self.embedding = self.register_module(
-            EmbeddingUnit(f"{name}.emb", config.vocab_size, config.max_seq_len,
-                          config.hidden, dtype=dtype, device=device, rng=rng,
-                          init_std=config.init_std, meta=meta)
-        )
-        self.blocks = [
-            self.register_module(
-                TransformerBlock(
-                    f"{name}.h{i}", config.hidden, config.n_heads,
-                    dtype=dtype, device=device, rng=rng,
-                    init_std=config.init_std, meta=meta,
-                )
+        with memprof_category("param_fp16", site=name):
+            self.embedding = self.register_module(
+                EmbeddingUnit(f"{name}.emb", config.vocab_size, config.max_seq_len,
+                              config.hidden, dtype=dtype, device=device, rng=rng,
+                              init_std=config.init_std, meta=meta)
             )
-            for i in range(config.n_layers)
-        ]
-        self.head = self.register_module(
-            HeadUnit(f"{name}.head", config.hidden, config.vocab_size,
-                     dtype=dtype, device=device, rng=rng,
-                     init_std=config.init_std, meta=meta)
-        )
+            self.blocks = [
+                self.register_module(
+                    TransformerBlock(
+                        f"{name}.h{i}", config.hidden, config.n_heads,
+                        dtype=dtype, device=device, rng=rng,
+                        init_std=config.init_std, meta=meta,
+                    )
+                )
+                for i in range(config.n_layers)
+            ]
+            self.head = self.register_module(
+                HeadUnit(f"{name}.head", config.hidden, config.vocab_size,
+                         dtype=dtype, device=device, rng=rng,
+                         init_std=config.init_std, meta=meta)
+            )
         self.checkpoint_activations = checkpoint_activations
         if activation_store is None:
             from repro.nn.checkpoint import KeepStore
@@ -372,7 +374,8 @@ class GPT2Model(Module):
                 y, c_blk = block.forward(h, ctx)
                 listener.after_unit(block)
                 c_blk.free()  # internals recomputed in backward
-                handles.append(self.activation_store.stash(h))  # store owns h
+                with memprof_category("activation_ckpt", site="act-ckpt"):
+                    handles.append(self.activation_store.stash(h))  # store owns h
                 h = y
             cache.ref(handles=handles)
             cache.own(h_last=h)
@@ -420,7 +423,8 @@ class GPT2Model(Module):
         store = self.activation_store
         listener = self.unit_listener
         for i in reversed(range(len(self.blocks))):
-            x = store.retrieve(handles[i])
+            with memprof_category("activation_ckpt", site="act-ckpt"):
+                x = store.retrieve(handles[i])
             listener.before_unit(self.blocks[i])
             y, c_blk = self.blocks[i].forward(x, ctx)  # recomputation
             y.free()

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.memprof.provenance import category as memprof_category
 from repro.memsim.device import HostMemory
 from repro.optim.adam import AdamHyperparams
 from repro.tensor.tensor import dtype_size
@@ -141,9 +142,10 @@ class HostAdamState:
         self.host = host
         self.hp = hp or AdamHyperparams()
         self.step_count = 0
-        self.master = HostTensor(numel, np.float32, host, meta=meta, tag=f"{tag}.master")
-        self.m = HostTensor(numel, np.float32, host, meta=meta, tag=f"{tag}.m")
-        self.v = HostTensor(numel, np.float32, host, meta=meta, tag=f"{tag}.v")
+        with memprof_category("optimizer_state", site=tag):
+            self.master = HostTensor(numel, np.float32, host, meta=meta, tag=f"{tag}.master")
+            self.m = HostTensor(numel, np.float32, host, meta=meta, tag=f"{tag}.m")
+            self.v = HostTensor(numel, np.float32, host, meta=meta, tag=f"{tag}.v")
 
     @property
     def is_meta(self) -> bool:

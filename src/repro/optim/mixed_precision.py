@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.memprof.provenance import category as memprof_category
 from repro.memsim.device import Device
 from repro.nn.module import Module
 from repro.optim.adam import AdamHyperparams, adam_step_inplace
@@ -46,9 +47,10 @@ class FlatAdamState:
             data = None if meta else np.zeros(numel, dtype=np.float32)
             return Tensor((numel,), np.dtype(np.float32), data=data, device=device, tag=f"{tag}.{name}")
 
-        self.master = make("master")
-        self.m = make("m")
-        self.v = make("v")
+        with memprof_category("optimizer_state", site=tag):
+            self.master = make("master")
+            self.m = make("m")
+            self.v = make("v")
 
     @property
     def is_meta(self) -> bool:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm.group import ProcessGroup
+from repro.memprof.provenance import category as memprof_category
 from repro.nn.module import Parameter
 from repro.nn.transformer import GPT2Model
 from repro.optim.adam import adam_step_inplace
@@ -85,10 +86,11 @@ class DDPEngine(BaseEngine):
                 self.ctx.rank, "all_reduce", numel * dtype.itemsize, "grad-allreduce"
             )
             return
-        fused = Tensor(
-            (numel,), dtype, data=np.empty(numel, dtype),
-            device=self.ctx.device, tag="grad-bucket",
-        )
+        with memprof_category("comm_buffer", site="grad-bucket"):
+            fused = Tensor(
+                (numel,), dtype, data=np.empty(numel, dtype),
+                device=self.ctx.device, tag="grad-bucket",
+            )
         offset = 0
         for p in bucket:
             fused.data[offset : offset + p.size] = p.grad.numpy().reshape(-1)

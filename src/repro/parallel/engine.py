@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.comm.group import ProcessGroup
+from repro.memprof.provenance import category as memprof_category
+from repro.memprof.provenance import set_phase as memprof_set_phase
 from repro.nn.loss import CausalLMLoss
 from repro.nn.module import ExecutionContext
 from repro.nn.transformer import GPT2Model
@@ -140,11 +142,12 @@ class BaseEngine:
         # Persistent constant-size fused buffer (CB) if configured.
         self._cb_buffer: Tensor | None = None
         if self.config.fused_buffer_numel is not None:
-            self._cb_buffer = Tensor(
-                (self.config.fused_buffer_numel,), np.dtype(np.float32),
-                data=None if self.is_meta else np.zeros(self.config.fused_buffer_numel, np.float32),
-                device=ctx.device, tag="cb-fused-buffer",
-            )
+            with memprof_category("comm_buffer", site="cb-fused-buffer"):
+                self._cb_buffer = Tensor(
+                    (self.config.fused_buffer_numel,), np.dtype(np.float32),
+                    data=None if self.is_meta else np.zeros(self.config.fused_buffer_numel, np.float32),
+                    device=ctx.device, tag="cb-fused-buffer",
+                )
         # ZeRO-Offload companion: owns the PCIe stream and the per-step
         # transfer/step-time model. Placement changes live in the ZeRO
         # engines; this base only drives the step clock.
@@ -174,10 +177,11 @@ class BaseEngine:
             for lo in range(0, numel, chunk):
                 fn(lo, min(lo + chunk, numel))
             return
-        scratch = Tensor(
-            (numel,), np.dtype(np.float32), data=None,
-            device=self.ctx.device, tag="fused-buffer",
-        )
+        with memprof_category("temp", site="fused-buffer"):
+            scratch = Tensor(
+                (numel,), np.dtype(np.float32), data=None,
+                device=self.ctx.device, tag="fused-buffer",
+            )
         try:
             fn(0, numel)
         finally:
@@ -209,16 +213,17 @@ class BaseEngine:
                 # (when enabled) can tell.
                 self._apply_scribbles(plan)
         free_inputs = []
-        if isinstance(token_ids, Tensor):
-            ids_t = token_ids
-        else:
-            ids_t = Tensor.from_numpy(np.asarray(token_ids), device=self.ctx.device, tag="batch.ids")
-            free_inputs.append(ids_t)
-        if isinstance(targets, Tensor):
-            tgt_t = targets
-        else:
-            tgt_t = Tensor.from_numpy(np.asarray(targets), device=self.ctx.device, tag="batch.targets")
-            free_inputs.append(tgt_t)
+        with memprof_category("activation", site="batch-input"):
+            if isinstance(token_ids, Tensor):
+                ids_t = token_ids
+            else:
+                ids_t = Tensor.from_numpy(np.asarray(token_ids), device=self.ctx.device, tag="batch.ids")
+                free_inputs.append(ids_t)
+            if isinstance(targets, Tensor):
+                tgt_t = targets
+            else:
+                tgt_t = Tensor.from_numpy(np.asarray(targets), device=self.ctx.device, tag="batch.targets")
+                free_inputs.append(tgt_t)
         ctx = ExecutionContext(training=True)
         if self.offload is not None:
             self.offload.begin_micro(ids_t.shape[0], ids_t.shape[-1])
@@ -282,6 +287,12 @@ class BaseEngine:
             self._release_gradients()
             if self.integrity is not None:
                 self.integrity.after_optimizer(self.step_count, applied, loss_value)
+            # Memory observatory leak sentinel: record per-category live
+            # bytes at the optimizer boundary (steady state should return
+            # every category to its baseline here).
+            prof = self.ctx.device.profiler
+            if prof is not None:
+                prof.note_step()
             if tr is not None:
                 tr.sample_memory(self.ctx.device)
                 tr.end()  # optimizer
@@ -391,6 +402,7 @@ class BaseEngine:
     def _mark(self, phase: str) -> None:
         if self.timeline is not None:
             self.timeline.mark(phase)
+        memprof_set_phase(phase)
 
     def _compute_split(self, batch: int, seq_len: int) -> tuple[float, float]:
         """Modeled (forward_s, backward_s) GEMM seconds for one micro-batch.

@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm.group import ProcessGroup
+from repro.memprof.provenance import category as memprof_category
 from repro.memsim.device import Device
 from repro.nn.layers import make_param
 from repro.nn.module import Cache, ExecutionContext, Module, Parameter
@@ -81,7 +82,8 @@ def _shard_param(
             raise ValueError(f"unknown init {init!r}")
         data = np.ascontiguousarray(np.take(full, _as_indices(take, full_shape[axis]), axis=axis))
         shape = data.shape
-    tensor = Tensor(shape, np.dtype(dtype), data=data, device=device, tag=name)
+    with memprof_category("param_fp16", site=name):
+        tensor = Tensor(shape, np.dtype(dtype), data=data, device=device, tag=name)
     return Parameter(name, tensor, grad_dtype=dtype)
 
 
@@ -480,26 +482,30 @@ class ParallelGPT2Model(GPT2Model):
         self.config = config
         self.dtype = np.dtype(dtype)
         self.mp_group = mp_group
-        self.embedding = self.register_module(
-            EmbeddingUnit(f"{name}.emb", config.vocab_size, config.max_seq_len,
-                          config.hidden, dtype=dtype, device=device, rng=rng,
-                          init_std=config.init_std, meta=meta)
-        )
-        self.blocks = [
-            self.register_module(
-                ParallelTransformerBlock(
-                    f"{name}.h{i}", config.hidden, config.n_heads, mp_group, rank,
-                    dtype=dtype, device=device, rng=rng,
-                    init_std=config.init_std, meta=meta,
-                )
+        with memprof_category("param_fp16", site=f"{name}.emb"):
+            self.embedding = self.register_module(
+                EmbeddingUnit(f"{name}.emb", config.vocab_size, config.max_seq_len,
+                              config.hidden, dtype=dtype, device=device, rng=rng,
+                              init_std=config.init_std, meta=meta)
             )
-            for i in range(config.n_layers)
-        ]
-        self.head = self.register_module(
-            ParallelHeadUnit(f"{name}.head", config.hidden, config.vocab_size,
-                             mp_group, rank, dtype=dtype, device=device, rng=rng,
-                             init_std=config.init_std, meta=meta)
-        )
+        self.blocks = []
+        for i in range(config.n_layers):
+            with memprof_category("param_fp16", site=f"{name}.h{i}"):
+                self.blocks.append(
+                    self.register_module(
+                        ParallelTransformerBlock(
+                            f"{name}.h{i}", config.hidden, config.n_heads,
+                            mp_group, rank, dtype=dtype, device=device, rng=rng,
+                            init_std=config.init_std, meta=meta,
+                        )
+                    )
+                )
+        with memprof_category("param_fp16", site=f"{name}.head"):
+            self.head = self.register_module(
+                ParallelHeadUnit(f"{name}.head", config.hidden, config.vocab_size,
+                                 mp_group, rank, dtype=dtype, device=device, rng=rng,
+                                 init_std=config.init_std, meta=meta)
+            )
         self.checkpoint_activations = checkpoint_activations
         if activation_store is None:
             from repro.nn.checkpoint import KeepStore

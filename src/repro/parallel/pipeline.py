@@ -23,6 +23,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm.group import ProcessGroup
+from repro.memprof.provenance import category as memprof_category
+from repro.memprof.provenance import set_phase as memprof_set_phase
 from repro.nn.module import Cache, ExecutionContext, Module
 from repro.nn.transformer import GPT2Model, GPTConfig
 from repro.optim.adam import AdamHyperparams, adam_step_inplace
@@ -141,6 +143,7 @@ class GPipeEngine:
                      stage=self.stage_index)
             tr.sample_memory(self.ctx.device)
             tr.begin("forward")
+        memprof_set_phase("forward")
 
         # All-forward. Per-micro state is retained until its backward —
         # exactly GPipe's activation-memory footprint.
@@ -150,14 +153,15 @@ class GPipeEngine:
         loss_caches = []
         losses = []
         for m in range(self.n_microbatches):
-            if self.is_first:
-                x = Tensor.from_numpy(
-                    token_ids[m * mb : (m + 1) * mb], device=self.ctx.device,
-                    tag="pp-ids",
-                )
-            else:
-                h = self.group.recv(self.ctx.rank, src=prev, tag=("act", m), phase="pp-act")
-                x = Tensor.from_numpy(h.astype(self.dtype), device=self.ctx.device, tag="pp-act")
+            with memprof_category("activation", site="pp-boundary"):
+                if self.is_first:
+                    x = Tensor.from_numpy(
+                        token_ids[m * mb : (m + 1) * mb], device=self.ctx.device,
+                        tag="pp-ids",
+                    )
+                else:
+                    h = self.group.recv(self.ctx.rank, src=prev, tag=("act", m), phase="pp-act")
+                    x = Tensor.from_numpy(h.astype(self.dtype), device=self.ctx.device, tag="pp-act")
             inputs.append(x)
             unit_caches = []
             micro_mids = []
@@ -185,6 +189,7 @@ class GPipeEngine:
             tr.sample_memory(self.ctx.device)
             tr.end()  # forward
             tr.begin("backward")
+        memprof_set_phase("backward")
 
         # All-backward (reverse micro order, reverse units).
         for m in reversed(range(self.n_microbatches)):
@@ -196,7 +201,8 @@ class GPipeEngine:
             else:
                 _, h_out = loss_caches[m]
                 g = self.group.recv(self.ctx.rank, src=nxt, tag=("grad", m), phase="pp-grad")
-                dh = Tensor.from_numpy(g.astype(self.dtype), device=self.ctx.device, tag="pp-grad")
+                with memprof_category("activation", site="pp-boundary"):
+                    dh = Tensor.from_numpy(g.astype(self.dtype), device=self.ctx.device, tag="pp-grad")
             for unit, cache in reversed(caches[m]):
                 dprev = unit.backward(cache, dh)
                 cache.free()
@@ -215,9 +221,13 @@ class GPipeEngine:
             tr.sample_memory(self.ctx.device)
             tr.end()  # backward
             tr.begin("optimizer")
+        memprof_set_phase("optimizer")
 
         self._optimizer_step()
         self.stage_module.zero_grad()
+        prof = self.ctx.device.profiler
+        if prof is not None:
+            prof.note_step()
         if tr is not None:
             tr.sample_memory(self.ctx.device)
             tr.end()  # optimizer

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.comm.group import ProcessGroup
+from repro.memprof.provenance import category as memprof_category
 from repro.memsim.device import Device, HostMemory
 from repro.runtime import RankContext
 from repro.tensor.tensor import Tensor, dtype_size
@@ -58,17 +59,18 @@ class PartitionedStore:
         n = self.group.size
         padded = -(-x.size // n) * n
         lo, hi = self._shard_bounds(padded)
-        if x.is_meta:
-            shard = Tensor(
-                (hi - lo,), x.dtype, data=None, device=self.device, tag="pa-shard"
-            )
-        else:
-            flat = np.zeros(padded, x.dtype)
-            flat[: x.size] = x.data.reshape(-1)
-            shard = Tensor(
-                (hi - lo,), x.dtype, data=flat[lo:hi].copy(),
-                device=self.device, tag="pa-shard",
-            )
+        with memprof_category("activation_ckpt", site="pa-shard"):
+            if x.is_meta:
+                shard = Tensor(
+                    (hi - lo,), x.dtype, data=None, device=self.device, tag="pa-shard"
+                )
+            else:
+                flat = np.zeros(padded, x.dtype)
+                flat[: x.size] = x.data.reshape(-1)
+                shard = Tensor(
+                    (hi - lo,), x.dtype, data=flat[lo:hi].copy(),
+                    device=self.device, tag="pa-shard",
+                )
         handle = _PaHandle(shard=shard, shape=x.shape, dtype=x.dtype, padded=padded)
         x.free()  # the replicated copy dies here — that's the memory saving
         return handle
@@ -80,14 +82,16 @@ class PartitionedStore:
                 self.rank, "all_gather",
                 handle.padded * dtype_size(handle.dtype), "activation-gather",
             )
-            return Tensor(
-                handle.shape, handle.dtype, data=None, device=self.device, tag="pa-full"
-            )
+            with memprof_category("activation_ckpt", site="pa-full"):
+                return Tensor(
+                    handle.shape, handle.dtype, data=None, device=self.device, tag="pa-full"
+                )
         full = self.group.all_gather(self.rank, shard.data, phase="activation-gather")
         data = full[: int(np.prod(handle.shape))].reshape(handle.shape)
-        return Tensor(
-            handle.shape, handle.dtype, data=data, device=self.device, tag="pa-full"
-        )
+        with memprof_category("activation_ckpt", site="pa-full"):
+            return Tensor(
+                handle.shape, handle.dtype, data=data, device=self.device, tag="pa-full"
+            )
 
     def discard(self, handle: _PaHandle) -> None:
         if handle.shard is not None:
@@ -107,7 +111,8 @@ class PartitionedCPUStore(PartitionedStore):
         nbytes = shard.nbytes
         # Device -> host: account the PCIe transfer and move the bytes.
         self.ctx.ledger.record("d2h", nbytes, (self.rank,), "activation-offload")
-        handle.host_handle = self.host.alloc(nbytes, "pa-cpu-shard")
+        with memprof_category("activation_ckpt", site="pa-cpu-shard"):
+            handle.host_handle = self.host.alloc(nbytes, "pa-cpu-shard")
         handle.host_data = None if shard.is_meta else shard.data.copy()
         shard.free()
         handle.shard = None
@@ -117,10 +122,11 @@ class PartitionedCPUStore(PartitionedStore):
         lo, hi = self._shard_bounds(handle.padded)
         nbytes = (hi - lo) * dtype_size(handle.dtype)
         self.ctx.ledger.record("h2d", nbytes, (self.rank,), "activation-fetch")
-        shard = Tensor(
-            (hi - lo,), handle.dtype, data=handle.host_data,
-            device=self.device, tag="pa-shard",
-        )
+        with memprof_category("activation_ckpt", site="pa-shard"):
+            shard = Tensor(
+                (hi - lo,), handle.dtype, data=handle.host_data,
+                device=self.device, tag="pa-shard",
+            )
         handle.shard = shard
         try:
             return super().retrieve(handle)

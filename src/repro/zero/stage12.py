@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.comm.group import ProcessGroup
 from repro.comm.tensor_ops import all_gather_flat
+from repro.memprof.provenance import category as memprof_category
 from repro.nn.module import Parameter
 from repro.nn.transformer import GPT2Model
 from repro.offload.host_optim import HostAdamState, HostTensor
@@ -85,19 +86,20 @@ class _ZeroDPBase(BaseEngine):
         # host-resident: each reduced piece streams d2h during backward.
         self.grad_shard: Tensor | HostTensor | None = None
         if self.free_grads_after_reduce:
-            if off is not None and off.offload_gradients:
-                self.grad_shard = HostTensor(
-                    self.part_numel, np.dtype(self.model.dtype), ctx.host,
-                    meta=self.is_meta, tag=f"{self.name}-grad-shard",
-                )
-            else:
-                self.grad_shard = Tensor(
-                    (self.part_numel,),
-                    np.dtype(self.model.dtype),
-                    data=None if self.is_meta else np.zeros(self.part_numel, self.model.dtype),
-                    device=ctx.device,
-                    tag=f"{self.name}-grad-shard",
-                )
+            with memprof_category("grad_fp16", site=f"{self.name}-grad-shard"):
+                if off is not None and off.offload_gradients:
+                    self.grad_shard = HostTensor(
+                        self.part_numel, np.dtype(self.model.dtype), ctx.host,
+                        meta=self.is_meta, tag=f"{self.name}-grad-shard",
+                    )
+                else:
+                    self.grad_shard = Tensor(
+                        (self.part_numel,),
+                        np.dtype(self.model.dtype),
+                        data=None if self.is_meta else np.zeros(self.part_numel, self.model.dtype),
+                        device=ctx.device,
+                        tag=f"{self.name}-grad-shard",
+                    )
         self._queue = GradBucketQueue(self.config.bucket_numel, self._flush_bucket)
         if self.config.gradient_accumulation_steps == 1 or self.free_grads_after_reduce:
             # Stage 2 reduces (and frees) every micro-step, so its hooks
@@ -137,10 +139,11 @@ class _ZeroDPBase(BaseEngine):
                     self.ctx.rank, "reduce", numel * dtype.itemsize, "grad-reduce"
                 )
                 continue
-            fused = Tensor(
-                (numel,), dtype, data=np.empty(numel, dtype),
-                device=self.ctx.device, tag="grad-bucket",
-            )
+            with memprof_category("comm_buffer", site="grad-bucket"):
+                fused = Tensor(
+                    (numel,), dtype, data=np.empty(numel, dtype),
+                    device=self.ctx.device, tag="grad-bucket",
+                )
             cursor = 0
             for lo, hi in pieces:
                 fused.data[cursor : cursor + hi - lo] = self.layout.gather_grad_range(

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm.group import ProcessGroup
+from repro.memprof.provenance import category as memprof_category
 from repro.nn.module import Module, Parameter
 from repro.nn.transformer import GPT2Model
 from repro.offload.host_optim import HostAdamState, HostTensor
@@ -75,26 +76,28 @@ class ZeroStage3Engine(BaseEngine):
                 meta=self.is_meta, tag="zero3-adam",
             )
         # Persistent fp16 parameter shard (2 Psi / Nd)...
-        self.param_shard = Tensor(
-            (self.part_numel,), np.dtype(self.model.dtype),
-            data=None if self.is_meta else self.layout.gather_param_range(
-                self.part_lo, self.part_hi, self.model.dtype
-            ),
-            device=ctx.device, tag="zero3-param-shard",
-        )
+        with memprof_category("param_fp16", site="zero3-param-shard"):
+            self.param_shard = Tensor(
+                (self.part_numel,), np.dtype(self.model.dtype),
+                data=None if self.is_meta else self.layout.gather_param_range(
+                    self.part_lo, self.part_hi, self.model.dtype
+                ),
+                device=ctx.device, tag="zero3-param-shard",
+            )
         # ...and fp16 gradient shard (2 Psi / Nd), host-resident under
         # offload_gradients (each unit's reduced piece streams d2h).
-        if off is not None and off.offload_gradients:
-            self.grad_shard: Tensor | HostTensor = HostTensor(
-                self.part_numel, np.dtype(self.model.dtype), ctx.host,
-                meta=self.is_meta, tag="zero3-grad-shard",
-            )
-        else:
-            self.grad_shard = Tensor(
-                (self.part_numel,), np.dtype(self.model.dtype),
-                data=None if self.is_meta else np.zeros(self.part_numel, self.model.dtype),
-                device=ctx.device, tag="zero3-grad-shard",
-            )
+        with memprof_category("grad_fp16", site="zero3-grad-shard"):
+            if off is not None and off.offload_gradients:
+                self.grad_shard: Tensor | HostTensor = HostTensor(
+                    self.part_numel, np.dtype(self.model.dtype), ctx.host,
+                    meta=self.is_meta, tag="zero3-grad-shard",
+                )
+            else:
+                self.grad_shard = Tensor(
+                    (self.part_numel,), np.dtype(self.model.dtype),
+                    data=None if self.is_meta else np.zeros(self.part_numel, self.model.dtype),
+                    device=ctx.device, tag="zero3-grad-shard",
+                )
         if not self.is_meta:
             self.opt_state.init_master(self.param_shard.data.astype(np.float32))
 
@@ -175,9 +178,10 @@ class ZeroStage3Engine(BaseEngine):
             data = None
             if full is not None:
                 data = full[slot.offset - ulo : slot.end - ulo].reshape(slot.shape).copy()
-            p.data = Tensor(
-                slot.shape, dtype, data=data, device=self.ctx.device, tag=p.name
-            )
+            with memprof_category("param_fp16", site="zero3-materialize"):
+                p.data = Tensor(
+                    slot.shape, dtype, data=data, device=self.ctx.device, tag=p.name
+                )
         self._materialized.add(unit.name)
         if self.tracer is not None:
             self.tracer.end()
@@ -218,10 +222,11 @@ class ZeroStage3Engine(BaseEngine):
                     self.ctx.rank, "reduce", numel * dtype.itemsize, "grad-reduce"
                 )
                 continue
-            fused = Tensor(
-                (numel,), dtype, data=np.empty(numel, dtype),
-                device=self.ctx.device, tag="grad-bucket",
-            )
+            with memprof_category("comm_buffer", site="grad-bucket"):
+                fused = Tensor(
+                    (numel,), dtype, data=np.empty(numel, dtype),
+                    device=self.ctx.device, tag="grad-bucket",
+                )
             cursor = 0
             for lo, hi in pieces:
                 fused.data[cursor : cursor + hi - lo] = self.layout.gather_grad_range(

@@ -53,6 +53,7 @@ FAST_EXAMPLES = [
     "trillion_parameter_simulation.py",
     "scale_100b_simulation.py",
     "sdc_rollback.py",
+    "oom_postmortem.py",
 ]
 
 
