@@ -40,7 +40,19 @@ Quick start::
 from repro.runtime import Cluster, RankContext
 from repro.nn.transformer import GPTConfig
 from repro.zero.config import ZeROConfig
-from repro.comm.faults import FaultPlan, RetryPolicy
+from repro.comm.faults import (
+    FaultPlan,
+    LinkDegradeRule,
+    RankJitterRule,
+    RankThrottleRule,
+    RetryPolicy,
+)
+from repro.health import (
+    HealthConfig,
+    HealthMonitor,
+    SlowRankDetectedError,
+    verify_recovery,
+)
 from repro.integrity import (
     CorruptionDetectedError,
     IntegrityConfig,
@@ -55,10 +67,16 @@ __all__ = [
     "CorruptionDetectedError",
     "FaultPlan",
     "GPTConfig",
+    "HealthConfig",
+    "HealthMonitor",
     "IntegrityConfig",
+    "LinkDegradeRule",
     "RankContext",
+    "RankJitterRule",
+    "RankThrottleRule",
     "RestartPolicy",
     "RetryPolicy",
+    "SlowRankDetectedError",
     "Supervisor",
     "SupervisorReport",
     "VerifiedCheckpointRing",

@@ -25,27 +25,47 @@ class CommCostModel:
 
     ``pcie`` defaults to the topology's node spec (hardware truth); pass a
     spec explicitly only to model a different host link.
+
+    ``perf`` (optional) is a gray-failure view — an object with
+    ``adjust_alpha_beta(rank, group_ranks, alpha, beta)``, in practice a
+    ``repro.comm.faults.FaultPlan`` carrying ``degrade_link`` rules — and
+    ``perf_rank`` is the rank whose clock this model prices (per-rank
+    telemetry tracers each own one). With ``perf=None`` (the default,
+    and what ``analysis.sim_time`` uses) pricing is the healthy-world
+    alpha-beta model, unchanged.
     """
 
     topology: ClusterTopology
     pcie: InterconnectSpec | None = None
+    perf: object | None = None
+    perf_rank: int | None = None
 
     @property
     def pcie_link(self) -> InterconnectSpec:
         return self.pcie if self.pcie is not None else self.topology.node.pcie
+
+    def _alpha_beta(self, event: CommEvent) -> tuple[float, float]:
+        """(latency_s, s/byte) of the group's bottleneck link, with any
+        active gray-failure degradations applied."""
+        link = self.topology.link_for_group(event.group_ranks)
+        alpha, beta = link.latency_s, 1.0 / link.bandwidth_bytes_per_s
+        if self.perf is not None:
+            alpha, beta = self.perf.adjust_alpha_beta(
+                self.perf_rank, event.group_ranks, alpha, beta
+            )
+        return alpha, beta
 
     def event_time(self, event: CommEvent) -> float:
         if event.op in ("h2d", "d2h"):
             link = self.pcie_link
             return link.latency_s + event.message_bytes / link.bandwidth_bytes_per_s
         if event.op == "barrier":
-            link = self.topology.link_for_group(event.group_ranks)
-            return link.latency_s * max(event.group_size - 1, 0)
-        link = self.topology.link_for_group(event.group_ranks)
+            alpha, _ = self._alpha_beta(event)
+            return alpha * max(event.group_size - 1, 0)
         n = event.group_size
         if n <= 1:
             return 0.0
-        alpha, beta = link.latency_s, 1.0 / link.bandwidth_bytes_per_s
+        alpha, beta = self._alpha_beta(event)
         bytes_ = event.message_bytes
         ring = (n - 1) / n
         if event.op == "all_reduce":

@@ -31,6 +31,17 @@ Fault taxonomy:
   can then re-form a smaller world from the survivors.
 * **P2P faults** drop a send (the receiver's timeout then aborts the
   whole fabric — see ``Fabric.recv``) or delay it by a fixed interval.
+* **Performance faults** (gray failures) also raise *nothing*: the rank
+  keeps participating in every collective and produces bitwise-correct
+  results — it is just *slow*. ``throttle_rank`` stretches the victim's
+  modeled compute time by a constant factor, ``jitter`` stretches it by
+  a seeded per-step random factor, and ``degrade_link`` scales the
+  alpha-beta cost of any collective whose group includes the degraded
+  link. All three carry onset/duration windows (``from_step`` /
+  ``until_step``) so a fault can be transient or persistent. Because a
+  ZeRO step is a synchronous collective, one degraded rank gates the
+  whole data-parallel world — observable only through the
+  ``repro.health`` detectors reading the telemetry clock.
 * **Corruption faults** raise *nothing* — that is the point. They model
   silent data corruption (SDC), the failure mode sharded state is most
   fragile to, and are only observable through the ``repro.integrity``
@@ -110,12 +121,18 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One fault the plan actually injected (for assertions/reports)."""
+    """One fault the plan actually injected (for assertions/reports).
+
+    Performance-fault rules fire continuously while their window is
+    active, so they record a single onset event per rule (kinds
+    "degrade-link" / "throttle" / "jitter") instead of one per firing.
+    """
 
     kind: str  # "kill" | "transient" | "drop_send" | "delay_send"
                # | "bitflip" | "scribble" | "ckpt-rot"
-    rank: int  # victim rank (src rank for p2p faults)
-    op: str    # collective op, "step", "send", or "checkpoint"
+               # | "degrade-link" | "throttle" | "jitter"
+    rank: int  # victim rank (src rank for p2p/link faults)
+    op: str    # collective op, "step", "send", "checkpoint", or "perf"
     detail: str = ""
 
 
@@ -178,6 +195,96 @@ class _ScribbleRule:
     fired: bool = False
 
 
+def _check_window(from_step: int, until_step: int | None) -> None:
+    if from_step < 1:
+        raise ValueError(f"from_step must be >= 1, got {from_step}")
+    if until_step is not None and until_step < from_step:
+        raise ValueError(
+            f"until_step {until_step} must be >= from_step {from_step}"
+        )
+
+
+@dataclass
+class LinkDegradeRule:
+    """Gray failure on one link: collectives whose group contains both
+    endpoints run with bandwidth scaled by ``bw_factor`` (0 < f <= 1)
+    and per-message latency increased by ``latency_add_s``. ``dst=None``
+    degrades every link out of ``src`` (a sick NIC rather than one bad
+    cable). Active while the *pricing* rank's optimizer step is inside
+    [``from_step``, ``until_step``]; ``until_step=None`` is persistent.
+    Never raises — only the alpha-beta clock sees it."""
+
+    src: int
+    dst: int | None = None
+    bw_factor: float = 0.25
+    latency_add_s: float = 0.0
+    from_step: int = 1
+    until_step: int | None = None
+    fired: bool = False    # onset event recorded
+    retired: bool = False  # deactivated (victim evicted)
+
+    def __post_init__(self):
+        if not 0.0 < self.bw_factor <= 1.0:
+            raise ValueError(f"bw_factor must be in (0, 1], got {self.bw_factor}")
+        if self.latency_add_s < 0:
+            raise ValueError(
+                f"latency_add_s must be non-negative, got {self.latency_add_s}"
+            )
+        _check_window(self.from_step, self.until_step)
+
+    def matches_group(self, group_ranks: tuple[int, ...]) -> bool:
+        if self.src not in group_ranks:
+            return False
+        return self.dst is None or self.dst in group_ranks
+
+
+@dataclass
+class RankThrottleRule:
+    """Gray failure on one GPU: the victim's modeled compute time is
+    stretched by ``compute_factor`` (>= 1) while its optimizer step is
+    inside the window. Never raises."""
+
+    rank: int
+    compute_factor: float = 4.0
+    from_step: int = 1
+    until_step: int | None = None
+    fired: bool = False
+    retired: bool = False
+
+    def __post_init__(self):
+        if self.compute_factor < 1.0:
+            raise ValueError(
+                f"compute_factor must be >= 1, got {self.compute_factor}"
+            )
+        _check_window(self.from_step, self.until_step)
+
+
+@dataclass
+class RankJitterRule:
+    """Stochastic slowdown: the victim's modeled compute time is
+    stretched by ``1 + |N(0, sigma)|`` drawn deterministically per
+    ``(plan seed, rank, step)`` — thread-interleaving independent.
+    Never raises."""
+
+    rank: int
+    sigma: float = 0.05
+    from_step: int = 1
+    until_step: int | None = None
+    fired: bool = False
+    retired: bool = False
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+        _check_window(self.from_step, self.until_step)
+
+
+def _window_active(rule, step: int) -> bool:
+    if rule.retired or step < rule.from_step:
+        return False
+    return rule.until_step is None or step <= rule.until_step
+
+
 @dataclass
 class _RotRule:
     rank: int | None  # None = any rank's checkpoint file
@@ -208,8 +315,15 @@ class FaultPlan:
         self._flips: list[_FlipRule] = []
         self._scribbles: list[_ScribbleRule] = []
         self._rots: list[_RotRule] = []
+        # Performance (gray-failure) rules — never raise; observable only
+        # through the telemetry clock and the repro.health detectors.
+        self._links: list[LinkDegradeRule] = []
+        self._throttles: list[RankThrottleRule] = []
+        self._jitters: list[RankJitterRule] = []
         self._rngs: dict[int, np.random.Generator] = {}
         self._collective_count: dict[int, int] = {}
+        #: last optimizer step noted per rank (perf-rule window clock)
+        self._steps: dict[int, int] = {}
         #: every fault that actually fired, in firing order
         self.events: list[FaultEvent] = []
         #: ranks killed so far, in order of death (old-world numbering)
@@ -312,6 +426,55 @@ class FaultPlan:
         self._scribbles.append(_ScribbleRule(rank, target, at_step, bits))
         return self
 
+    def degrade_link(
+        self, *, src: int, dst: int | None = None, bw_factor: float = 0.25,
+        latency_add_s: float = 0.0, from_step: int = 1,
+        until_step: int | None = None,
+    ) -> "FaultPlan":
+        """Degrade the ``src``<->``dst`` link (all of ``src``'s links when
+        ``dst`` is None): any collective whose group contains the link
+        runs at ``bw_factor`` x bandwidth with ``latency_add_s`` extra
+        latency, while the window is active. Raises nothing, ever — the
+        fault is visible only to the alpha-beta cost model (and hence the
+        telemetry clock and the health detectors)."""
+        return self.add_perf_rule(LinkDegradeRule(
+            src, dst, bw_factor, latency_add_s, from_step, until_step,
+        ))
+
+    def throttle_rank(
+        self, *, rank: int, compute_factor: float = 4.0, from_step: int = 1,
+        until_step: int | None = None,
+    ) -> "FaultPlan":
+        """Stretch ``rank``'s modeled compute time by ``compute_factor``
+        while the window is active (a thermally throttled / degraded
+        GPU). Raises nothing, ever."""
+        return self.add_perf_rule(RankThrottleRule(
+            rank, compute_factor, from_step, until_step,
+        ))
+
+    def jitter(
+        self, *, rank: int, sigma: float = 0.05, from_step: int = 1,
+        until_step: int | None = None,
+    ) -> "FaultPlan":
+        """Stretch ``rank``'s modeled compute time by a seeded random
+        ``1 + |N(0, sigma)|`` factor, redrawn each step (OS noise,
+        shared-host interference). Raises nothing, ever."""
+        return self.add_perf_rule(RankJitterRule(rank, sigma, from_step, until_step))
+
+    def add_perf_rule(
+        self, rule: "LinkDegradeRule | RankThrottleRule | RankJitterRule",
+    ) -> "FaultPlan":
+        """Attach an already-constructed performance-fault rule."""
+        if isinstance(rule, LinkDegradeRule):
+            self._links.append(rule)
+        elif isinstance(rule, RankThrottleRule):
+            self._throttles.append(rule)
+        elif isinstance(rule, RankJitterRule):
+            self._jitters.append(rule)
+        else:
+            raise TypeError(f"not a performance-fault rule: {rule!r}")
+        return self
+
     def rot_checkpoint(
         self, *, rank: int | None = None, nth: int = 1, times: int = 1,
         bits: int = 1,
@@ -331,8 +494,10 @@ class FaultPlan:
 
     def note_step(self, rank: int, step: int) -> None:
         """Engine hook at optimizer-step boundaries; may raise
-        ``RankKilledError`` for kill-at-step rules."""
+        ``RankKilledError`` for kill-at-step rules. Also advances this
+        rank's perf-rule window clock."""
         with self._lock:
+            self._steps[rank] = step
             for rule in self._kills:
                 if rule.fired or rule.rank != rank or rule.at_step is None:
                     continue
@@ -487,6 +652,95 @@ class FaultPlan:
                 )
                 rotted = True
             return rotted
+
+    # -- performance-fault hooks (raise nothing, by design) ----------------
+
+    @property
+    def has_perf_rules(self) -> bool:
+        return bool(self._links or self._throttles or self._jitters)
+
+    def compute_scale(self, rank: int, step: int) -> float:
+        """Engine hook: multiplier on this rank's modeled compute seconds
+        for optimizer step ``step`` (1.0 when no rule is active). Jitter
+        draws are deterministic per ``(seed, rank, step)`` so the scale
+        does not depend on thread interleaving or call count. Never
+        raises."""
+        if not (self._throttles or self._jitters):
+            return 1.0
+        scale = 1.0
+        with self._lock:
+            for rule in self._throttles:
+                if rule.rank != rank or not _window_active(rule, step):
+                    continue
+                scale *= rule.compute_factor
+                self._note_perf_onset_locked(
+                    rule, "throttle", rank,
+                    f"compute x{rule.compute_factor} from step {step}",
+                )
+            for rule in self._jitters:
+                if rule.rank != rank or not _window_active(rule, step):
+                    continue
+                draw = np.random.default_rng(
+                    np.random.SeedSequence([self.seed, rank, step, 0x7177E5])
+                ).normal(0.0, rule.sigma)
+                scale *= 1.0 + abs(float(draw))
+                self._note_perf_onset_locked(
+                    rule, "jitter", rank,
+                    f"sigma {rule.sigma} from step {step}",
+                )
+        return scale
+
+    def adjust_alpha_beta(
+        self, rank: int | None, group_ranks: tuple[int, ...],
+        alpha: float, beta: float,
+    ) -> tuple[float, float]:
+        """Cost-model hook: (latency_s, s/byte) for a collective over
+        ``group_ranks`` as priced by ``rank``'s clock, with active link
+        degradations applied — a ring collective is gated by its slowest
+        link, so every group containing the degraded link pays. The
+        window is checked against the pricing rank's last noted step.
+        Never raises."""
+        if not self._links:
+            return alpha, beta
+        with self._lock:
+            # Events priced before the first noted boundary belong to
+            # step 1 (the boundary increments before compute and comm).
+            step = max(self._steps.get(rank, 0), 1) if rank is not None else 1
+            for rule in self._links:
+                if not _window_active(rule, step):
+                    continue
+                if not rule.matches_group(group_ranks):
+                    continue
+                alpha += rule.latency_add_s
+                beta /= rule.bw_factor
+                self._note_perf_onset_locked(
+                    rule, "degrade-link", rule.src,
+                    f"dst {rule.dst if rule.dst is not None else 'any'} "
+                    f"bw x{rule.bw_factor} +{rule.latency_add_s}s latency",
+                )
+        return alpha, beta
+
+    def retire_perf_rules(self, rank: int) -> int:
+        """Deactivate every performance rule whose victim is ``rank`` —
+        called by the Supervisor when the slow rank is evicted, so rules
+        keyed on old-world numbering cannot re-attach to the survivor
+        that inherits the number. Returns how many rules were retired."""
+        retired = 0
+        with self._lock:
+            for rule in self._throttles + self._jitters:
+                if rule.rank == rank and not rule.retired:
+                    rule.retired = True
+                    retired += 1
+            for rule in self._links:
+                if not rule.retired and (rule.src == rank or rule.dst == rank):
+                    rule.retired = True
+                    retired += 1
+        return retired
+
+    def _note_perf_onset_locked(self, rule, kind: str, rank: int, detail: str) -> None:
+        if not rule.fired:
+            rule.fired = True
+            self.events.append(FaultEvent(kind, rank, "perf", detail))
 
     # -- internals ---------------------------------------------------------
 

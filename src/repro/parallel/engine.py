@@ -233,6 +233,18 @@ class BaseEngine:
         step_t0 = 0.0
         if tr is not None:
             fwd_s, bwd_s = self._compute_split(ids_t.shape[0], ids_t.shape[-1])
+            perf_plan = self.ctx.fabric.fault_plan
+            if perf_plan is not None and perf_plan.has_perf_rules:
+                # Gray failures (throttle/jitter) stretch the *modeled*
+                # compute clock only — numerics stay bitwise identical.
+                # Micro-steps before a boundary belong to the upcoming
+                # optimizer step (note_step fires at the boundary).
+                scale = perf_plan.compute_scale(
+                    self.ctx.rank,
+                    self.step_count if boundary else self.step_count + 1,
+                )
+                fwd_s *= scale
+                bwd_s *= scale
             step_t0 = tr.clock_s
             tr.begin("step", micro_step=self._micro_step, boundary=boundary)
             tr.sample_memory(self.ctx.device)

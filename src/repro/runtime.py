@@ -145,6 +145,13 @@ class Cluster:
         #: optional ``repro.telemetry.TelemetrySession``; when None the
         #: cluster allocates no telemetry objects at all.
         self.telemetry = telemetry
+        if telemetry is not None:
+            health = getattr(telemetry, "health", None)
+            if health is not None:
+                # A fresh cluster is a fresh detection window: Supervisor
+                # relaunches renumber survivors and shrink the world, so
+                # stale per-rank history must not carry over.
+                health.bind_world(world_size)
         self.topology = topology or ClusterTopology.for_world_size(world_size)
         if self.topology.world_size != world_size:
             raise ValueError(
@@ -170,7 +177,8 @@ class Cluster:
         tracer = None
         if self.telemetry is not None:
             tracer = self.telemetry.tracer_for(
-                rank, topology=self.topology, gpu=self.devices[rank].spec
+                rank, topology=self.topology, gpu=self.devices[rank].spec,
+                fault_plan=self.fabric.fault_plan,
             )
             self.ledgers[rank].listener = tracer
         return RankContext(

@@ -39,9 +39,22 @@ converges to exactly the fault-free trajectory. A rank implicated in
 have bad hardware and is **quarantined**: the world shrinks by one via
 the same elastic re-shard path a dead rank takes.
 
+Fail-slow (gray) failures follow a third policy: a rank confirmed slow
+by the ``repro.health`` detectors (``SlowRankDetectedError``) produced
+bitwise-correct results the whole time — nothing to roll back — but
+gates every synchronous collective, so it is **evicted**: the world
+shrinks by one through the same elastic re-shard path a dead rank takes
+(kind ``"slow-evict"``), the victim's performance-fault rules are
+retired so they cannot re-attach to the survivor inheriting its rank
+number, and the relaunch resumes from the latest durable checkpoint
+bitwise-deterministically. The throughput-recovery contract —
+post-eviction step time within tolerance of the healthy-world analytic
+prediction — is checked by ``repro.health.verify_recovery``.
+
 Only communication-layer failures (``RankKilledError``,
-``FabricAbortedError``) and detected corruption trigger a restart;
-programming errors in the training function propagate immediately.
+``FabricAbortedError``), detected corruption, and confirmed-slow
+verdicts trigger a restart; programming errors in the training function
+propagate immediately.
 """
 
 from __future__ import annotations
@@ -54,6 +67,7 @@ from typing import Any
 from repro.comm.fabric import FabricAbortedError
 from repro.comm.faults import FaultPlan, RankKilledError, RetryPolicy
 from repro.hardware.specs import GPUSpec, V100_32GB
+from repro.health.errors import SlowRankDetectedError
 from repro.integrity.errors import CorruptionDetectedError
 from repro.runtime import Cluster
 
@@ -90,8 +104,9 @@ class RestartEvent:
     world_after: int
     killed_ranks: tuple[int, ...]  # old-world numbering; empty for transients
     error: str
-    # "failure" (crash fault), "rollback" (corruption, same world), or
-    # "quarantine" (corruption, repeat offender removed).
+    # "failure" (crash fault), "rollback" (corruption, same world),
+    # "quarantine" (corruption, repeat offender removed), or
+    # "slow-evict" (confirmed fail-slow rank removed).
     kind: str = "failure"
 
 
@@ -166,14 +181,27 @@ class Supervisor:
             )
             try:
                 results = cluster.run(fn, *args, **kwargs)
-            except (RankKilledError, FabricAbortedError, CorruptionDetectedError) as exc:
+            except (
+                RankKilledError, FabricAbortedError,
+                CorruptionDetectedError, SlowRankDetectedError,
+            ) as exc:
                 newly_dead = tuple(
                     self.fault_plan.killed_ranks[known_dead:]
                 ) if self.fault_plan else ()
                 restarts += 1
                 kind = "failure"
                 quarantined: tuple[int, ...] = ()
-                if isinstance(exc, CorruptionDetectedError):
+                if isinstance(exc, SlowRankDetectedError):
+                    # The slow rank produced correct results all along —
+                    # nothing to roll back; evict it through the elastic
+                    # shrink path and retire its performance-fault rules
+                    # so they cannot re-attach to the survivor that
+                    # inherits its rank number after renumbering.
+                    kind = "slow-evict"
+                    quarantined = (exc.rank,)
+                    if self.fault_plan is not None:
+                        self.fault_plan.retire_perf_rules(exc.rank)
+                elif isinstance(exc, CorruptionDetectedError):
                     # Nobody died — relaunch at the same size and let the
                     # training function resume from the newest *verified*
                     # checkpoint (a rollback). A repeat offender gets
@@ -205,6 +233,7 @@ class Supervisor:
                         "failure": "supervisor-restart",
                         "rollback": "supervisor-rollback",
                         "quarantine": "supervisor-quarantine",
+                        "slow-evict": "supervisor-slow-evict",
                     }[kind]
                     self.telemetry.instant(
                         "supervisor-gave-up" if gave_up else instant,
@@ -217,7 +246,9 @@ class Supervisor:
                     )
                     registry = getattr(self.telemetry, "registry", None)
                     if registry is not None:
-                        registry.counter(f"supervisor_{kind}s").add(1)
+                        registry.counter(
+                            f"supervisor_{kind.replace('-', '_')}s"
+                        ).add(1)
                 if restarts > self.policy.max_restarts:
                     exc.add_note(
                         f"supervisor gave up: restart budget exhausted "

@@ -152,9 +152,13 @@ def validate_chrome_trace(trace: dict | str) -> None:
             raise ValueError(f"unclosed B events {stack} on track {track}")
 
 
-def ascii_summary(tracers, *, title: str = "telemetry step summary") -> str:
+def ascii_summary(
+    tracers, *, title: str = "telemetry step summary", health=None,
+) -> str:
     """Per-step table across ranks: phase times, comm volume, peak memory,
-    and the straggler (slowest) rank."""
+    and the straggler (slowest) rank. With a ``HealthMonitor`` attached
+    (``health=``), the straggler cell also carries the monitor's verdict
+    for that rank at that step when it is not plain healthy."""
     tracers = list(tracers)
     if not tracers or not any(t.step_durations for t in tracers):
         return "(no steps traced)"
@@ -193,11 +197,16 @@ def ascii_summary(tracers, *, title: str = "telemetry step summary") -> str:
         slowest, slow_rank = max(durations)
         mean_s = sum(d for d, _ in durations) / len(durations)
         lag = (slowest / mean_s - 1.0) * 100.0 if mean_s > 0 else 0.0
+        straggler = f"rank {slow_rank} (+{lag:.1f}%)"
+        if health is not None:
+            verdict = health.verdict_for_row(step, slow_rank)
+            if verdict is not None and verdict != "healthy":
+                straggler += f" [{verdict}]"
         cells += [
             bytes_to_str(int(comm)),
             bytes_to_str(peak) if peak else "-",
             f"{1e3 * slowest:.3f}",
-            f"rank {slow_rank} (+{lag:.1f}%)",
+            straggler,
         ]
         rows.append(cells)
     table = format_table(headers, rows, title=title)

@@ -36,16 +36,29 @@ from repro.telemetry.spans import InstantEvent, Tracer
 class TelemetrySession:
     """Per-run container for tracers, metrics, and global events."""
 
-    def __init__(self, *, registry: MetricsRegistry | None = None):
+    def __init__(
+        self, *, registry: MetricsRegistry | None = None, health=None,
+    ):
         self.registry = registry or MetricsRegistry()
         self.tracers: dict[int, Tracer] = {}
         self.global_instants: list[InstantEvent] = []
+        #: optional ``repro.health.HealthMonitor``; when attached every
+        #: tracer feeds it step samples and priced comm events, and the
+        #: summary table annotates straggler verdicts. None = disabled,
+        #: byte-identical to a health-free session.
+        self.health = health
+        if health is not None and getattr(health, "registry", None) is None:
+            health.registry = self.registry
         self._clock_s = 0.0  # global-track clock: max of rank clocks seen
         self._lock = threading.Lock()
 
-    def tracer_for(self, rank: int, *, topology=None, gpu=None) -> Tracer:
+    def tracer_for(self, rank: int, *, topology=None, gpu=None, fault_plan=None) -> Tracer:
         """Get-or-create rank ``rank``'s tracer (idempotent across
-        ``Cluster`` relaunches, so a supervised run keeps one timeline)."""
+        ``Cluster`` relaunches, so a supervised run keeps one timeline).
+
+        ``fault_plan`` threads performance-fault (gray-failure) rules
+        into the tracer's cost model, so degraded links show up in the
+        priced clock this rank observes."""
         with self._lock:
             tracer = self.tracers.get(rank)
             if tracer is None:
@@ -53,9 +66,12 @@ class TelemetrySession:
                 if topology is not None:
                     from repro.comm.costmodel import CommCostModel
 
-                    cost = CommCostModel(topology)
+                    cost = CommCostModel(
+                        topology, perf=fault_plan, perf_rank=rank,
+                    )
                 tracer = Tracer(rank, cost_model=cost, registry=self.registry)
                 self.tracers[rank] = tracer
+            tracer.health = self.health
             return tracer
 
     def instant(self, name: str, **args) -> InstantEvent:
@@ -87,7 +103,7 @@ class TelemetrySession:
         return write_chrome_trace(path, self._ranked(), self.global_instants)
 
     def summary(self, *, title: str = "telemetry step summary") -> str:
-        return ascii_summary(self._ranked(), title=title)
+        return ascii_summary(self._ranked(), title=title, health=self.health)
 
     def write_metrics_jsonl(self, path) -> None:
         self.registry.write_jsonl(path)

@@ -85,6 +85,10 @@ class Tracer:
         self.rank = rank
         self.cost = cost_model
         self.registry = registry
+        #: optional ``repro.health.HealthMonitor`` fed from this tracer's
+        #: step spans and priced comm events (set by the session); None
+        #: means health monitoring is disabled and nothing extra runs.
+        self.health = None
         self.clock_s = 0.0
         self.spans: list[Span] = []          # completed + open, in begin order
         self.instants: list[InstantEvent] = []
@@ -142,6 +146,10 @@ class Tracer:
                 self.registry.histogram("step_time_s", rank=self.rank).observe(
                     span.duration_s
                 )
+            if self.health is not None:
+                # May raise SlowRankDetectedError on a confirming row —
+                # the fail-slow analogue of a kill firing in note_step.
+                self.health.on_step(self, span.duration_s)
         return span
 
     @contextmanager
@@ -207,7 +215,10 @@ class Tracer:
     def on_comm_event(self, event) -> None:
         """Price one recorded ``CommEvent`` into clock time + counters."""
         if self.cost is not None:
-            self.advance(self.cost.event_time(event))
+            seconds = self.cost.event_time(event)
+            self.advance(seconds)
+            if self.health is not None:
+                self.health.on_comm_event(self, event, seconds)
         nominal = event.nominal_bytes
         phase = normalize_phase(event.phase)
         self._comm_nominal_bytes += nominal

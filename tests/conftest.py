@@ -48,6 +48,11 @@ def pytest_configure(config):
         "sdc: silent-data-corruption defense tests (bit-flip injection, "
         "integrity audits, verified-checkpoint ring, supervisor rollback)",
     )
+    config.addinivalue_line(
+        "markers",
+        "failslow: fail-slow (gray-failure) defense tests (performance-fault "
+        "injection, straggler detection, slow-rank eviction)",
+    )
 
 
 @pytest.hookimpl(wrapper=True)
@@ -55,7 +60,10 @@ def pytest_runtest_call(item):
     override = item.get_closest_marker("timeout_guard")
     if override is not None:
         seconds = float(override.args[0])
-    elif item.get_closest_marker("faults") is not None:
+    elif (
+        item.get_closest_marker("faults") is not None
+        or item.get_closest_marker("failslow") is not None
+    ):
         seconds = FAULTS_GUARD_TIMEOUT_S
     else:
         seconds = GUARD_TIMEOUT_S

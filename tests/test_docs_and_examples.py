@@ -54,6 +54,7 @@ FAST_EXAMPLES = [
     "scale_100b_simulation.py",
     "sdc_rollback.py",
     "oom_postmortem.py",
+    "failslow_eviction.py",
 ]
 
 
