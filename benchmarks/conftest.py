@@ -68,3 +68,15 @@ def offload_sweep_smoke():
 
     rows = run_fit(budgets_gb=(8,))
     assert rows and rows[0].offload_psi_b > rows[0].device_psi_b
+
+
+@pytest.fixture(scope="session", autouse=True)
+def infinity_sweep_smoke():
+    """Same guard for the ZeRO-Infinity tier sweep: one fit point per
+    session keeps ``bench_infinity_trillion.py``'s machinery honest even
+    when the infinity benchmark is deselected."""
+    from repro.experiments.infinity_sweep import run_fit
+
+    rows = run_fit(budgets_gb=(8,))
+    by_label = {r.label: r for r in rows}
+    assert by_label["+host+NVMe"].psi_b > by_label["device only"].psi_b

@@ -53,6 +53,9 @@ from repro.health import (
     SlowRankDetectedError,
     verify_recovery,
 )
+from repro.infinity.config import InfinityConfig
+from repro.infinity.engine import InfinityEngine
+from repro.infinity.tiers import TierTopology
 from repro.integrity import (
     CorruptionDetectedError,
     IntegrityConfig,
@@ -69,6 +72,8 @@ __all__ = [
     "GPTConfig",
     "HealthConfig",
     "HealthMonitor",
+    "InfinityConfig",
+    "InfinityEngine",
     "IntegrityConfig",
     "LinkDegradeRule",
     "RankContext",
@@ -79,6 +84,7 @@ __all__ = [
     "SlowRankDetectedError",
     "Supervisor",
     "SupervisorReport",
+    "TierTopology",
     "VerifiedCheckpointRing",
     "ZeROConfig",
     "__version__",

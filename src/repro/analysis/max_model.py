@@ -45,6 +45,7 @@ def device_bytes_for(
         hidden=config.hidden, n_layers=config.n_layers,
         seq_len=seq_len, batch=batch, mp_degree=mp,
     )
+    inf = zero.infinity
     return total_device_bytes(
         float(config.total_params), act,
         nd=nd, stage=zero.stage, mp_degree=mp,
@@ -52,8 +53,12 @@ def device_bytes_for(
         partition_activations=zero.partition_activations,
         cpu_offload=zero.cpu_offload_activations,
         constant_buffers=zero.constant_buffers,
-        offload_optimizer=zero.offload_optimizer,
-        offload_gradients=zero.offload_gradients,
+        offload_optimizer=zero.offload_optimizer
+        or (inf is not None and inf.offload_optimizer),
+        offload_gradients=zero.offload_gradients
+        or (inf is not None and inf.offload_gradients),
+        page_params=inf is not None and inf.page_params and zero.stage == 3,
+        tile_bytes=None if inf is None else inf.tile_bytes,
     )
 
 

@@ -35,6 +35,8 @@ def model_state_bytes(
     *,
     offload_optimizer: bool = False,
     offload_gradients: bool = False,
+    page_params: bool = False,
+    tile_bytes: int | None = None,
 ) -> float:
     """Per-device model-state bytes for a Psi-parameter model (Figure 1).
 
@@ -42,6 +44,10 @@ def model_state_bytes(
     device: ``offload_optimizer`` drops the K Psi / Nd optimizer partition
     (stages 1-3), ``offload_gradients`` additionally drops the 2 Psi / Nd
     gradient shard (stages 2-3). ``host_state_bytes`` returns what moved.
+    ZeRO-Infinity's ``page_params`` (stage 3 only) additionally drops the
+    2 Psi / Nd fp16 parameter shard — it lives on a lower tier and is
+    paged in per unit gather; with memory-centric tiling the persistent
+    device-side staging bound is ``tile_bytes``.
     """
     if psi < 0 or nd < 1:
         raise ValueError(f"need psi >= 0 and nd >= 1, got psi={psi}, nd={nd}")
@@ -49,6 +55,8 @@ def model_state_bytes(
         raise ValueError("offload_optimizer requires stage >= 1")
     if offload_gradients and (stage < 2 or not offload_optimizer):
         raise ValueError("offload_gradients requires offload_optimizer and stage >= 2")
+    if page_params and stage != 3:
+        raise ValueError("page_params requires partitioned parameters (stage 3)")
     opt_shard = 0.0 if offload_optimizer else k * psi / nd
     grad_shard = 0.0 if offload_gradients else GRAD_BYTES * psi / nd
     if stage == 0:
@@ -58,7 +66,8 @@ def model_state_bytes(
     if stage == 2:
         return PARAM_BYTES * psi + grad_shard + opt_shard
     if stage == 3:
-        return PARAM_BYTES * psi / nd + grad_shard + opt_shard
+        param_shard = float(tile_bytes or 0) if page_params else PARAM_BYTES * psi / nd
+        return param_shard + grad_shard + opt_shard
     raise ValueError(f"stage must be 0-3, got {stage}")
 
 
@@ -85,6 +94,40 @@ def host_state_bytes(
     if offload_gradients:
         total += GRAD_BYTES * psi / nd
     return total
+
+
+def tier_state_bytes(
+    psi: float,
+    nd: int = 1,
+    stage: int = 3,
+    k: int = ADAM_K,
+    *,
+    infinity,
+) -> dict[str, float]:
+    """Per-rank model-state bytes on each tier under an InfinityConfig.
+
+    The device entry matches ``model_state_bytes`` with the config's
+    derived placement flags; the host/NVMe entries are the terms the
+    placement moved there (shards this rank owns — activations and
+    transient materializations are not model state).
+    """
+    if psi < 0 or nd < 1:
+        raise ValueError(f"need psi >= 0 and nd >= 1, got psi={psi}, nd={nd}")
+    out = {"device": 0.0, "host": 0.0, "nvme": 0.0}
+    out["device"] = model_state_bytes(
+        psi, nd, stage, k,
+        offload_optimizer=infinity.offload_optimizer,
+        offload_gradients=infinity.offload_gradients,
+        page_params=stage == 3 and infinity.page_params,
+        tile_bytes=infinity.tile_bytes,
+    )
+    if infinity.offload_optimizer:
+        out[infinity.optimizer_tier] += k * psi / nd
+    if infinity.offload_gradients and stage >= 2:
+        out[infinity.grad_tier] += GRAD_BYTES * psi / nd
+    if infinity.page_params and stage == 3:
+        out[infinity.param_tier] += PARAM_BYTES * psi / nd
+    return out
 
 
 def max_model_params(memory_bytes: float, nd: int = 1, stage: int = 0, k: int = ADAM_K) -> float:
@@ -191,6 +234,8 @@ def total_device_bytes(
     constant_buffers: bool = True,
     offload_optimizer: bool = False,
     offload_gradients: bool = False,
+    page_params: bool = False,
+    tile_bytes: int | None = None,
     k: int = ADAM_K,
 ) -> float:
     """End-to-end per-GPU memory: model states (split by MP) + activations
@@ -201,6 +246,7 @@ def total_device_bytes(
     states = model_state_bytes(
         psi_local, nd, stage, k,
         offload_optimizer=offload_optimizer, offload_gradients=offload_gradients,
+        page_params=page_params, tile_bytes=tile_bytes,
     )
     acts = activation.iteration_bytes(
         checkpointing=checkpointing,

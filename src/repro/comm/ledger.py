@@ -32,6 +32,8 @@ NOMINAL_FACTOR = {
     "recv": 1.0,
     "h2d": 1.0,             # host->device copy (Pa+cpu accounting)
     "d2h": 1.0,             # device->host copy
+    "nvme-in": 1.0,         # NVMe->host read (ZeRO-Infinity tier paging)
+    "nvme-out": 1.0,        # host->NVMe write
     "barrier": 0.0,
 }
 
@@ -53,6 +55,8 @@ def exact_ring_factor(op: str, group_size: int) -> float:
         "recv": 1.0,
         "h2d": 1.0,
         "d2h": 1.0,
+        "nvme-in": 1.0,
+        "nvme-out": 1.0,
         "barrier": 0.0,
     }[op]
 

@@ -64,6 +64,15 @@ PCIE_3_X16 = InterconnectSpec(
     name="PCIe-3.0-x16", bandwidth_bytes_per_s=12 * GB, latency_s=1e-5
 )
 
+# NVMe tier (ZeRO-Infinity): a DGX-2 class node carries a RAID-0 of NVMe
+# drives reaching ~25 GB/s aggregate read; shared across 16 GPUs that is
+# ~1.5 GB/s per GPU sustained, with block-device latency in the 100 us
+# range. Capacity ~28 TB per node (16 x 1.75 TB in the ZeRO-Infinity
+# evaluation hardware).
+NVME_RAID = InterconnectSpec(
+    name="NVMe-RAID", bandwidth_bytes_per_s=1.5 * GB, latency_s=1e-4
+)
+
 
 @dataclass(frozen=True)
 class NodeSpec:
@@ -81,6 +90,10 @@ class NodeSpec:
     inter_node: InterconnectSpec
     pcie: InterconnectSpec = PCIE_3_X16
     host_memory_bytes: int = int(1.5 * TB)
+    #: per-GPU effective link to the node's NVMe array and the array's
+    #: capacity — the third rung of the ZeRO-Infinity tier hierarchy.
+    nvme: InterconnectSpec = NVME_RAID
+    nvme_bytes: int = int(28 * TB)
 
 
 DGX2 = NodeSpec(
@@ -91,4 +104,6 @@ DGX2 = NodeSpec(
     inter_node=INFINIBAND_EDR,
     pcie=PCIE_3_X16,
     host_memory_bytes=int(1.5 * TB),
+    nvme=NVME_RAID,
+    nvme_bytes=int(28 * TB),
 )

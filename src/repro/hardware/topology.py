@@ -55,6 +55,16 @@ class ClusterTopology:
         offload cost model charges host-resident model states against."""
         return self.node.host_memory_bytes // self.node.gpus_per_node
 
+    @property
+    def nvme(self) -> InterconnectSpec:
+        """Per-GPU effective link to the node's NVMe array (infinity tier)."""
+        return self.node.nvme
+
+    @property
+    def nvme_bytes_per_gpu(self) -> int:
+        """Fair share of the node's NVMe capacity per resident GPU."""
+        return self.node.nvme_bytes // self.node.gpus_per_node
+
     def host_bytes_of_node(self, node_index: int) -> int:
         """Total DRAM of one node (all its ranks share the pool)."""
         if not 0 <= node_index < self.n_nodes:

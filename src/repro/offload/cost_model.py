@@ -75,10 +75,12 @@ class OffloadCostModel:
         return sec * f_frac, sec * (1.0 - f_frac)
 
     def transfer_seconds(self, nbytes: int) -> float:
-        """Wire time of one PCIe copy (alpha-beta)."""
-        if nbytes <= 0:
-            return 0.0
-        return self.pcie.latency_s + nbytes / self.pcie.bandwidth_bytes_per_s
+        """Wire time of one PCIe copy (shared per-tier alpha-beta form)."""
+        # Function-level import: repro.infinity extends this model, so the
+        # package dependency runs infinity -> offload at import time.
+        from repro.infinity.tiers import wire_seconds
+
+        return wire_seconds(self.pcie, nbytes)
 
     def partition_numel(self, nd: int) -> int:
         """This rank's share of the flat parameter space (1/Nd, rounded up

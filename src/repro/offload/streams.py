@@ -18,43 +18,28 @@ the "simulated timeline" the offload cost model is validated against.
 Every copy is also recorded in the rank's CommLedger (op ``d2h``/``h2d``),
 so ledger-driven estimators and the paper's volume accounting see offload
 traffic exactly like Pa+cpu traffic.
+
+The duplex-lane scheduling itself lives in ``repro.infinity.tiers`` —
+ZeRO-Infinity generalizes it to an arbitrary tier hierarchy, and
+``PCIeStream`` is the two-tier (device <-> host) special case with lanes
+labelled d2h/h2d.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.comm.ledger import CommLedger
 from repro.hardware.specs import PCIE_3_X16, InterconnectSpec
+from repro.infinity.tiers import TierStream, TransferHandle
+
+__all__ = ["PCIeStream", "TransferHandle"]
 
 _DIRECTIONS = ("d2h", "h2d")
 
 
-@dataclass
-class TransferHandle:
-    """One async copy: submitted, scheduled onto a lane, completed at ``done_t``."""
-
-    direction: str
-    nbytes: int
-    submit_t: float
-    start_t: float
-    done_t: float
-    phase: str = ""
-    synchronized: bool = False
-
-    @property
-    def wire_s(self) -> float:
-        """Seconds the copy occupies the lane (latency + serialization)."""
-        return self.done_t - self.start_t
-
-    @property
-    def queued_s(self) -> float:
-        """Seconds the copy waited behind earlier traffic on its lane."""
-        return self.start_t - self.submit_t
-
-
-class PCIeStream:
+class PCIeStream(TierStream):
     """Per-rank full-duplex PCIe lane pair with async handle semantics."""
+
+    directions = _DIRECTIONS
 
     def __init__(
         self,
@@ -63,50 +48,4 @@ class PCIeStream:
         ledger: CommLedger | None = None,
         rank: int = 0,
     ):
-        self.link = link
-        self.ledger = ledger
-        self.rank = rank
-        self._lane_free = {d: 0.0 for d in _DIRECTIONS}
-        self.handles: list[TransferHandle] = []
-
-    def reset(self) -> None:
-        """Start a fresh step timeline (t = 0 at forward begin)."""
-        self._lane_free = {d: 0.0 for d in _DIRECTIONS}
-        self.handles.clear()
-
-    def copy_async(
-        self, nbytes: int, direction: str, *, submit_t: float = 0.0, phase: str = ""
-    ) -> TransferHandle:
-        """Enqueue a copy; returns immediately with its scheduled times."""
-        if direction not in _DIRECTIONS:
-            raise ValueError(f"direction must be one of {_DIRECTIONS}, got {direction!r}")
-        if nbytes < 0:
-            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
-        start = max(float(submit_t), self._lane_free[direction])
-        done = start + self.link.latency_s + nbytes / self.link.bandwidth_bytes_per_s
-        self._lane_free[direction] = done
-        if self.ledger is not None and nbytes > 0:
-            self.ledger.record(direction, nbytes, (self.rank,), phase)
-        handle = TransferHandle(
-            direction=direction, nbytes=int(nbytes),
-            submit_t=float(submit_t), start_t=start, done_t=done, phase=phase,
-        )
-        self.handles.append(handle)
-        return handle
-
-    def synchronize(self, handles: list[TransferHandle] | None = None, *, at: float = 0.0) -> float:
-        """Wait for ``handles`` (default: everything submitted this step)
-        starting from model time ``at``; returns the time all are done."""
-        targets = self.handles if handles is None else handles
-        t = float(at)
-        for h in targets:
-            h.synchronized = True
-            t = max(t, h.done_t)
-        return t
-
-    def lane_busy_s(self, direction: str) -> float:
-        """Total seconds this step's transfers occupy one lane."""
-        return sum(h.wire_s for h in self.handles if h.direction == direction)
-
-    def lane_free_t(self, direction: str) -> float:
-        return self._lane_free[direction]
+        super().__init__(link, ledger=ledger, rank=rank, directions=_DIRECTIONS)

@@ -73,6 +73,12 @@ class EngineConfig:
     # zero-overhead convention as fault plans and telemetry. The factory
     # threads it through from ZeROConfig.audit_cadence.
     integrity: "IntegrityConfig | None" = None
+    # Optional repro.infinity.InfinityConfig: the multi-tier (device ->
+    # host -> NVMe) generalization of ``offload``. Mutually exclusive with
+    # ``offload`` — the infinity runtime drives the same step clock through
+    # the identical ``self.offload`` driver surface. The factory threads it
+    # through from ZeROConfig.infinity.
+    infinity: "InfinityConfig | None" = None
 
 
 @dataclass
@@ -90,6 +96,9 @@ class BaseEngine:
     #: ZeRO-Offload needs a partitioned optimizer (a ``part_numel`` range
     #: to ship host-side); stages 1-3 flip this on.
     supports_offload = False
+    #: ZeRO-Infinity parameter paging/tiling needs partitioned parameters
+    #: that are gathered per unit; only stage 3 flips this on.
+    supports_param_paging = False
     #: whether this engine keeps the full fp16 parameters replicated on
     #: every DP rank between steps — the invariant the integrity layer's
     #: cross-rank audit compares. Stage 3 partitions parameters too and
@@ -152,6 +161,12 @@ class BaseEngine:
         # transfer/step-time model. Placement changes live in the ZeRO
         # engines; this base only drives the step clock.
         self.offload = None
+        self.infinity = None
+        if self.config.offload is not None and self.config.infinity is not None:
+            raise ValueError(
+                "offload and infinity are mutually exclusive — InfinityConfig "
+                "subsumes the host tier (set param/grad/optimizer tiers instead)"
+            )
         if self.config.offload is not None:
             if not self.supports_offload:
                 raise ValueError(
@@ -161,6 +176,29 @@ class BaseEngine:
             from repro.offload.engine import OffloadRuntime
 
             self.offload = OffloadRuntime(ctx, self.config.offload, model.config)
+        elif self.config.infinity is not None:
+            inf_cfg = self.config.infinity
+            if inf_cfg.offload_optimizer and not self.supports_offload:
+                raise ValueError(
+                    f"engine {self.name!r} does not support off-device optimizer "
+                    "state (requires a partitioned optimizer, ZeRO stage >= 1)"
+                )
+            if inf_cfg.page_params and not self.supports_param_paging:
+                raise ValueError(
+                    f"engine {self.name!r} does not support parameter paging "
+                    "(requires partitioned parameters, ZeRO stage 3)"
+                )
+            from repro.infinity.engine import InfinityEngine
+
+            mp_group = getattr(model, "mp_group", None)
+            self.infinity = InfinityEngine(
+                ctx, inf_cfg, model.config,
+                mp_degree=mp_group.size if mp_group is not None else 1,
+            )
+            # The infinity runtime implements the offload driver surface
+            # (begin_micro / queue_grad_d2h / finish_step / trace_step /
+            # reports), so the step loop below needs no second code path.
+            self.offload = self.infinity
         # SDC detector stack (repro.integrity). Constructed lazily at the
         # first train_step — the subclass's optimizer state (the shards it
         # fingerprints) does not exist yet at this point in __init__.

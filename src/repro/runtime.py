@@ -48,6 +48,10 @@ class RankContext:
     #: a ``TelemetrySession`` is attached; engines must treat None as
     #: "telemetry disabled" and record nothing.
     tracer: Any = None
+    #: node NVMe pool (ZeRO-Infinity third tier) — a ``HostMemory`` counter
+    #: named "nvme"; shared per node like ``host``. Always present but holds
+    #: zero bytes unless an infinity placement parks state there.
+    nvme: HostMemory | None = None
     _groups: dict[tuple[int, ...], ProcessGroup] = field(default_factory=dict)
 
     def group(self, ranks: Sequence[int]) -> ProcessGroup:
@@ -123,6 +127,7 @@ def virtual_rank_context(
         topology=topo,
         fabric=fabric,
         tracer=tracer,
+        nvme=HostMemory(topo.node.nvme_bytes, name="nvme"),
     )
 
 
@@ -166,6 +171,9 @@ class Cluster:
         # One shared host pool per cluster, sized to a single node's DRAM
         # (the simulated worlds here fit one node's worth of ranks).
         self.host = host or HostMemory(self.topology.node.host_memory_bytes)
+        # One shared NVMe pool per cluster (the node's drive array); a bare
+        # byte counter until an infinity placement parks state on it.
+        self.nvme = HostMemory(self.topology.node.nvme_bytes, name="nvme")
         self.ledgers = [CommLedger(rank=i) for i in range(world_size)]
         self._world_group = self.fabric.group_registry.setdefault_group(
             tuple(range(world_size))
@@ -191,6 +199,7 @@ class Cluster:
             topology=self.topology,
             fabric=self.fabric,
             tracer=tracer,
+            nvme=self.nvme,
         )
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:

@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.infinity.config import InfinityConfig
 
 
 @dataclass(frozen=True)
@@ -36,6 +40,12 @@ class ZeROConfig:
     # the integrity layer entirely — no digests, no audit collectives,
     # no allocations, byte-identical to a build without it.
     audit_cadence: int = 0
+    # ZeRO-Infinity (repro.infinity): place each state class (fp16 params,
+    # grads, fp32 optimizer state) on a device/host/NVMe tier, with paged
+    # stage-3 gathers and memory-centric tiling. Mutually exclusive with
+    # the offload_* flags above — InfinityConfig subsumes the single host
+    # tier as the (os@host, g@device|host, p@device) special case.
+    infinity: "InfinityConfig | None" = None
 
     def __post_init__(self):
         if self.stage not in (0, 1, 2, 3):
@@ -59,6 +69,27 @@ class ZeROConfig:
                 )
         if self.delayed_param_update and not self.offload_optimizer:
             raise ValueError("delayed_param_update requires offload_optimizer")
+        if self.infinity is not None:
+            if self.offload_optimizer or self.offload_gradients or self.delayed_param_update:
+                raise ValueError(
+                    "infinity and the offload_* flags are mutually exclusive — "
+                    "express ZeRO-Offload as InfinityConfig(optimizer_tier='host')"
+                )
+            if self.infinity.offload_optimizer and self.stage < 1:
+                raise ValueError(
+                    "off-device optimizer state requires a partitioned "
+                    "optimizer (stage >= 1)"
+                )
+            if self.infinity.offload_gradients and self.stage < 2:
+                raise ValueError(
+                    "off-device gradients require a partitioned gradient "
+                    "shard (stage >= 2)"
+                )
+            if self.infinity.page_params and self.stage != 3:
+                raise ValueError(
+                    "parameter paging/tiling requires partitioned parameters "
+                    "(stage 3)"
+                )
 
     @property
     def label(self) -> str:
@@ -76,6 +107,8 @@ class ZeROConfig:
             extras.append("DPU")
         if self.audit_cadence:
             extras.append(f"SDC@{self.audit_cadence}")
+        if self.infinity is not None:
+            extras.append(self.infinity.label)
         return stage_name + (" + " + "+".join(extras) if extras else "")
 
 

@@ -69,6 +69,8 @@ def build_engine(
                 checkpointing=zero.checkpoint_activations,
             ),
         )
+    if zero.infinity is not None and config.infinity is None:
+        config = replace(config, infinity=zero.infinity)
     if zero.audit_cadence and config.integrity is None:
         from repro.integrity import IntegrityConfig
 

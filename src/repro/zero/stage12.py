@@ -62,12 +62,17 @@ class _ZeroDPBase(BaseEngine):
         # fp32 Adam state over *this rank's partition only* — the 4x / 8x
         # memory reduction of Figure 1 comes from this line. With
         # offload_optimizer the same partition lives in host DRAM instead
-        # (ZeRO-Offload), dropping the K Psi / Nd term from the device.
+        # (ZeRO-Offload), dropping the K Psi / Nd term from the device;
+        # ZeRO-Infinity may push it one tier further, to the NVMe pool.
         off = self.config.offload
-        self._host_adam = off is not None and off.offload_optimizer
+        inf = self.config.infinity
+        self._host_adam = (off is not None and off.offload_optimizer) or (
+            inf is not None and inf.offload_optimizer
+        )
         if self._host_adam:
+            opt_pool = self.infinity.optimizer_pool if inf is not None else ctx.host
             self.opt_state = HostAdamState(
-                self.part_numel, host=ctx.host, hp=self.config.adam,
+                self.part_numel, host=opt_pool, hp=self.config.adam,
                 meta=self.is_meta, tag=f"{self.name}-adam",
             )
         else:
@@ -85,11 +90,15 @@ class _ZeroDPBase(BaseEngine):
         # does — no extra buffer. Under offload_gradients the shard is
         # host-resident: each reduced piece streams d2h during backward.
         self.grad_shard: Tensor | HostTensor | None = None
+        offload_grads = (off is not None and off.offload_gradients) or (
+            inf is not None and inf.offload_gradients
+        )
         if self.free_grads_after_reduce:
             with memprof_category("grad_fp16", site=f"{self.name}-grad-shard"):
-                if off is not None and off.offload_gradients:
+                if offload_grads:
+                    grad_pool = self.infinity.grad_pool if inf is not None else ctx.host
                     self.grad_shard = HostTensor(
-                        self.part_numel, np.dtype(self.model.dtype), ctx.host,
+                        self.part_numel, np.dtype(self.model.dtype), grad_pool,
                         meta=self.is_meta, tag=f"{self.name}-grad-shard",
                     )
                 else:

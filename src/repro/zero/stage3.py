@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm.group import ProcessGroup
+from repro.infinity.tiling import plan_unit_tiles
 from repro.memprof.provenance import category as memprof_category
 from repro.nn.module import Module, Parameter
 from repro.nn.transformer import GPT2Model
@@ -43,6 +44,7 @@ class ZeroStage3Engine(BaseEngine):
 
     name = "zero3"
     supports_offload = True
+    supports_param_paging = True
     #: parameters are partitioned too — there is no replicated fp16 copy
     #: for the cross-rank integrity audit to compare (the digest guard
     #: covers the param_shard instead; scalar state is still audited).
@@ -63,11 +65,18 @@ class ZeroStage3Engine(BaseEngine):
 
         # ZeRO-Offload: the fp32 Adam partition (and optionally the fp16
         # gradient shard) lives in host DRAM instead of on the device.
+        # ZeRO-Infinity generalizes the placement to per-state-class tiers
+        # (host or NVMe pools), including the fp16 parameter shard itself.
         off = self.config.offload
-        self._host_adam = off is not None and off.offload_optimizer
+        inf = self.config.infinity
+        self._page_params = inf is not None and inf.page_params
+        self._host_adam = (off is not None and off.offload_optimizer) or (
+            inf is not None and inf.offload_optimizer
+        )
         if self._host_adam:
+            opt_pool = self.infinity.optimizer_pool if inf is not None else ctx.host
             self.opt_state = HostAdamState(
-                self.part_numel, host=ctx.host, hp=self.config.adam,
+                self.part_numel, host=opt_pool, hp=self.config.adam,
                 meta=self.is_meta, tag="zero3-adam",
             )
         else:
@@ -75,21 +84,33 @@ class ZeroStage3Engine(BaseEngine):
                 self.part_numel, device=ctx.device, hp=self.config.adam,
                 meta=self.is_meta, tag="zero3-adam",
             )
-        # Persistent fp16 parameter shard (2 Psi / Nd)...
+        # Persistent fp16 parameter shard (2 Psi / Nd), off-device when the
+        # infinity placement pages parameters in from a lower tier...
         with memprof_category("param_fp16", site="zero3-param-shard"):
-            self.param_shard = Tensor(
-                (self.part_numel,), np.dtype(self.model.dtype),
-                data=None if self.is_meta else self.layout.gather_param_range(
-                    self.part_lo, self.part_hi, self.model.dtype
-                ),
-                device=ctx.device, tag="zero3-param-shard",
+            shard_data = None if self.is_meta else self.layout.gather_param_range(
+                self.part_lo, self.part_hi, self.model.dtype
             )
+            if self._page_params:
+                self.param_shard: Tensor | HostTensor = HostTensor(
+                    self.part_numel, np.dtype(self.model.dtype),
+                    self.infinity.param_pool, data=shard_data,
+                    meta=self.is_meta, tag="zero3-param-shard",
+                )
+            else:
+                self.param_shard = Tensor(
+                    (self.part_numel,), np.dtype(self.model.dtype),
+                    data=shard_data, device=ctx.device, tag="zero3-param-shard",
+                )
         # ...and fp16 gradient shard (2 Psi / Nd), host-resident under
         # offload_gradients (each unit's reduced piece streams d2h).
+        offload_grads = (off is not None and off.offload_gradients) or (
+            inf is not None and inf.offload_gradients
+        )
         with memprof_category("grad_fp16", site="zero3-grad-shard"):
-            if off is not None and off.offload_gradients:
+            if offload_grads:
+                grad_pool = self.infinity.grad_pool if inf is not None else ctx.host
                 self.grad_shard: Tensor | HostTensor = HostTensor(
-                    self.part_numel, np.dtype(self.model.dtype), ctx.host,
+                    self.part_numel, np.dtype(self.model.dtype), grad_pool,
                     meta=self.is_meta, tag="zero3-grad-shard",
                 )
             else:
@@ -155,6 +176,34 @@ class ZeroStage3Engine(BaseEngine):
         ulo, uhi = self._unit_range[unit.name]
         dtype = np.dtype(self.model.dtype)
         itemsize = dtype.itemsize
+        tiled = False
+        if self._page_params:
+            # This rank pages its own shard piece in from the parameter
+            # tier before contributing it to the gather; the infinity
+            # engine charges that movement (tile by tile) to the timeline.
+            inf_cfg = self.config.infinity
+            plan = plan_unit_tiles(uhi - ulo, itemsize, inf_cfg.tile_bytes)
+            tiled = plan.is_tiled
+            mine = sum(
+                hi - lo
+                for owner, lo, hi in self._owner_segments(ulo, uhi)
+                if owner == self.my_index
+            )
+            self.infinity.note_gather(
+                mine * itemsize, mode=self._mode, tiles=plan.n_tiles
+            )
+            if tiled:
+                # Memory-centric tiling: device residency during this
+                # gather is bounded to one staged tile at a time; the
+                # unit's parameters attach unaccounted below (they are
+                # never co-resident), like defer_param_allocation.
+                for tlo, thi in plan.ranges():
+                    with memprof_category("param_fp16", site="infinity-tile"):
+                        stage = Tensor(
+                            (thi - tlo,), dtype, data=None,
+                            device=self.ctx.device, tag="infinity-tile",
+                        )
+                    stage.free()
         if self.is_meta:
             self.dp_group.meta_collective(
                 self.ctx.rank, "broadcast", (uhi - ulo) * itemsize, "param-gather"
@@ -180,7 +229,8 @@ class ZeroStage3Engine(BaseEngine):
                 data = full[slot.offset - ulo : slot.end - ulo].reshape(slot.shape).copy()
             with memprof_category("param_fp16", site="zero3-materialize"):
                 p.data = Tensor(
-                    slot.shape, dtype, data=data, device=self.ctx.device, tag=p.name
+                    slot.shape, dtype, data=data,
+                    device=None if tiled else self.ctx.device, tag=p.name,
                 )
         self._materialized.add(unit.name)
         if self.tracer is not None:

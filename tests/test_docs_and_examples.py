@@ -55,6 +55,7 @@ FAST_EXAMPLES = [
     "sdc_rollback.py",
     "oom_postmortem.py",
     "failslow_eviction.py",
+    "infinity_trillion.py",
 ]
 
 
