@@ -6,6 +6,12 @@ writes them to ``benchmarks/output/<name>.txt`` so the artifacts survive
 pytest's output capture. ``record_table(text, metrics=...)`` additionally
 writes machine-readable ``benchmarks/output/BENCH_<name>.json`` rows
 (metric name, value, unit, config) for dashboards and regression diffing.
+
+The rows feed the perf-regression gate: after writing, ``record_table``
+runs ``compare_bench.check_file`` against the committed baselines in
+``benchmarks/baselines/``, so a benchmark whose deterministic metrics
+drift fails on the spot. Intentional changes are re-baselined with
+``python benchmarks/compare_bench.py --update``.
 """
 
 from __future__ import annotations
@@ -48,9 +54,19 @@ def record_table(request):
                     "unit": unit,
                     "config": dict(config or {}),
                 })
-            (OUTPUT_DIR / f"BENCH_{name}.json").write_text(
-                json.dumps(rows, indent=2) + "\n"
-            )
+            bench_path = OUTPUT_DIR / f"BENCH_{name}.json"
+            bench_path.write_text(json.dumps(rows, indent=2) + "\n")
+            from compare_bench import check_file
+
+            ok, table = check_file(bench_path)
+            if not ok:
+                pytest.fail(
+                    f"benchmark metrics regressed vs benchmarks/baselines/\n"
+                    f"{table}\n"
+                    "(intentional? re-seed with "
+                    "`python benchmarks/compare_bench.py --update`)",
+                    pytrace=False,
+                )
         print(f"\n{text}\n")
 
     return _record

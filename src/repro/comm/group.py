@@ -86,10 +86,13 @@ class ProcessGroup:
     def attach_ledger(self, rank: int, ledger: CommLedger) -> None:
         self._ledgers[rank] = ledger
 
-    def _record(self, rank: int, op: str, message_bytes: int, phase: str) -> None:
+    def _record(
+        self, rank: int, op: str, message_bytes: int, phase: str,
+        peer: tuple[int, int] | None = None,
+    ) -> None:
         ledger = self._ledgers.get(rank)
         if ledger is not None:
-            ledger.record(op, message_bytes, self.ranks, phase)
+            ledger.record(op, message_bytes, self.ranks, phase, peer=peer)
 
     # -- fault-aware rendezvous entry ----------------------------------------
 
@@ -292,11 +295,11 @@ class ProcessGroup:
         self.group_index(rank)
         self.group_index(dst)
         self.fabric.send(rank, dst, np.asarray(array).copy(), tag)
-        self._record(rank, "send", array.nbytes, phase)
+        self._record(rank, "send", array.nbytes, phase, peer=(rank, dst))
 
     def recv(self, rank: int, src: int, tag: int = 0, phase: str = "") -> np.ndarray:
         self.group_index(rank)
         self.group_index(src)
         array = self.fabric.recv(src, rank, tag)
-        self._record(rank, "recv", array.nbytes, phase)
+        self._record(rank, "recv", array.nbytes, phase, peer=(src, rank))
         return array

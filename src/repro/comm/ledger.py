@@ -87,6 +87,10 @@ class CommEvent:
     group_size: int
     group_ranks: tuple[int, ...]
     phase: str = ""  # caller-supplied label, e.g. "grad-reduce", "param-allgather"
+    #: point-to-point endpoints as (src, dst); None for collectives and
+    #: copies. Lets timeline analysis pair a send with its matching recv
+    #: (group_ranks alone is ambiguous in a >2-member pipeline group).
+    peer: tuple[int, int] | None = None
 
     @property
     def nominal_bytes(self) -> float:
@@ -116,6 +120,7 @@ class CommLedger:
         message_bytes: int,
         group_ranks: tuple[int, ...],
         phase: str = "",
+        peer: tuple[int, int] | None = None,
     ) -> None:
         if not self.enabled:
             return
@@ -127,6 +132,7 @@ class CommLedger:
             group_size=len(group_ranks),
             group_ranks=tuple(group_ranks),
             phase=phase,
+            peer=peer,
         )
         self.events.append(event)
         if self.listener is not None:

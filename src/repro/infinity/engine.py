@@ -100,6 +100,8 @@ class InfinityEngine:
             "forward": [], "backward": [],
         }
         self.last_grad_pieces: list[int] = []
+        #: scheduling inputs of the last boundary (see finish_step).
+        self.last_capture: dict = {}
         self._carry_s = 0.0  # DPU: deferred (update + refresh) tail
         self._fwd_s = 0.0
         self._bwd_s = 0.0
@@ -281,6 +283,27 @@ class InfinityEngine:
         # to the closed-form model) before clearing for the next step.
         self.last_gathers = {m: list(g) for m, g in self._gathers.items()}
         self.last_grad_pieces = list(self._grad_pieces)
+        # Scheduling inputs of this boundary, for Perfscope's replay.
+        self.last_capture = {
+            "fwd_s": self._fwd_s,
+            "bwd_s": self._bwd_s,
+            "gathers": {m: tuple(g) for m, g in self._gathers.items()},
+            "grad_pieces": tuple(self._grad_pieces),
+            "boundary_grad_bytes": int(boundary_grad_bytes),
+            "adam_numel": int(adam_numel),
+            "param_h2d_bytes": int(param_h2d_bytes),
+            "carry_in_s": carry_in,
+            "step_s": step_s,
+            "delayed_param_update": cfg.delayed_param_update,
+            "cpu_adam_elements_per_s": cfg.cpu_adam_elements_per_s,
+            "optimizer_tier": cfg.optimizer_tier,
+            "grad_tier": cfg.grad_tier,
+            "param_tier": cfg.param_tier,
+            "prefetch_depth": cfg.prefetch_depth,
+            "opt_chunk_bytes": cfg.opt_chunk_bytes,
+            "pcie": self.pcie.link,
+            "nvme": self.nvme_stream.link,
+        }
         self._fwd_s = 0.0
         self._bwd_s = 0.0
         self._grad_pieces = []
@@ -378,3 +401,5 @@ class InfinityEngine:
                 "cpu-adam", t0 + report.grads_ready_s, report.cpu_adam_s,
                 track="host", delayed=self.config.delayed_param_update,
             )
+        if getattr(tracer, "record_comm", False):
+            tracer.record_runtime_step("infinity", dict(self.last_capture))

@@ -113,6 +113,8 @@ class OffloadRuntime:
             config.pcie or ctx.topology.pcie, ledger=ctx.ledger, rank=ctx.rank
         )
         self.reports: list[OffloadStepReport] = []
+        #: scheduling inputs of the last boundary (see finish_step).
+        self.last_capture: dict = {}
         self._carry_s = 0.0  # DPU: deferred (adam + h2d) from the last step
         self._fwd_s = 0.0
         self._bwd_s = 0.0
@@ -204,6 +206,22 @@ class OffloadRuntime:
             step_s=step_s,
         )
         self.reports.append(report)
+        # Scheduling inputs of the boundary just closed, kept so Perfscope
+        # can replay (and re-price) the overlapped schedule after the
+        # accumulators below are cleared.
+        self.last_capture = {
+            "fwd_s": fwd,
+            "bwd_s": bwd,
+            "grad_pieces": tuple(self._grad_pieces),
+            "boundary_grad_bytes": int(boundary_grad_bytes),
+            "adam_numel": int(adam_numel),
+            "param_h2d_bytes": int(param_h2d_bytes),
+            "carry_in_s": carry_in,
+            "step_s": step_s,
+            "delayed_param_update": self.config.delayed_param_update,
+            "cpu_adam_elements_per_s": self.config.cpu_adam_elements_per_s,
+            "pcie": self.stream.link,
+        }
         self._fwd_s = 0.0
         self._bwd_s = 0.0
         self._grad_pieces = []
@@ -235,3 +253,5 @@ class OffloadRuntime:
                 "cpu-adam", t0 + report.grads_ready_s, report.cpu_adam_s,
                 track="host", delayed=self.config.delayed_param_update,
             )
+        if getattr(tracer, "record_comm", False):
+            tracer.record_runtime_step("offload", dict(self.last_capture))

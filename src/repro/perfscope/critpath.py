@@ -1,0 +1,149 @@
+"""Critical-path analytics: stall taxonomy, overlap and utilization scores.
+
+Given a scheduled ``StepGraph``, every second of a rank's step time is
+attributed to exactly one category:
+
+- ``compute``          — forward/backward GEMM time on the device
+- ``host-adam``        — CPU Adam on the step's critical path
+- ``exposed-comm``     — collective / p2p wire time not hidden by compute
+- ``pcie-wait``        — PCIe tier transfers on the critical path
+- ``nvme-wait``        — NVMe tier transfers on the critical path
+- ``straggler-skew``   — waiting at a collective rendezvous for slower peers
+- ``bubble``           — pipeline idle waiting for an upstream/downstream rank
+- ``serialization``    — forced ordering (DPU carry, update-before-refresh)
+
+The attribution is conservative by construction: for a serialized
+main-track rank it walks the rank's chain (node occupancy + rendezvous
+gaps); for an offload/infinity rank it walks the rank's critical path,
+whose node durations telescope to the step time exactly (every node's
+start *is* its binding dependency's end). Either way
+``sum(categories) == rank step time`` — the conservation identity the
+property tests pin across the engine sweep.
+
+Derived scores:
+
+- ``overlap_efficiency`` = 1 - exposed / busy: the fraction of this
+  rank's communication+transfer lane occupancy hidden behind compute
+  (serialized main-track ranks score 0 by definition — nothing overlaps
+  on a serialized clock; offload/infinity ranks score what their
+  overlapped schedule actually hid).
+- ``compute_utilization`` = compute / step time.
+- ``exposed_comm_pct`` = 100 * (exposed-comm + pcie + nvme waits) / step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perfscope.graph import StepGraph
+
+CATEGORIES = (
+    "compute", "host-adam", "exposed-comm", "pcie-wait", "nvme-wait",
+    "straggler-skew", "bubble", "serialization",
+)
+
+_NODE_CAT = {
+    "compute": "compute",
+    "window": "compute",
+    "host": "host-adam",
+    "carry": "serialization",
+    "comm": "exposed-comm",
+}
+_LINK_CAT = {"pcie": "pcie-wait", "nvme": "nvme-wait"}
+#: categories that are communication wire time paid in step time.
+EXPOSED = ("exposed-comm", "pcie-wait", "nvme-wait")
+
+
+def _node_category(node) -> str | None:
+    if node.kind == "xfer":
+        return _LINK_CAT.get(node.link, "pcie-wait")
+    return _NODE_CAT.get(node.kind)
+
+
+def _gap_category(g: StepGraph, node) -> str:
+    """Why did a spine node start late? Blame its binding dependency."""
+    b = g.binding_dep(node)
+    if b is None:
+        return "serialization"
+    if b.kind == "milestone" and b.track == "rendezvous":
+        return "straggler-skew"
+    if b.rank != node.rank:
+        # p2p causality: waiting for another rank's send (pipeline bubble).
+        return "bubble"
+    return "serialization"
+
+
+def rank_stalls(g: StepGraph, rank: int) -> dict[str, float]:
+    """Full stall decomposition of one rank's step time (conserving:
+    the values sum to ``g.rank_step_s(rank)``)."""
+    cats = {c: 0.0 for c in CATEGORIES}
+    source = g.sources.get(rank)
+    if source is not None and source[0] == "runtime":
+        for node in g.critical_path(rank=rank):
+            cat = _node_category(node)
+            if cat is not None:
+                cats[cat] += node.end_s - node.start_s
+        return cats
+    prev_end = 0.0
+    for nid in g.rank_chain.get(rank, ()):
+        node = g.nodes[nid]
+        gap = node.start_s - prev_end
+        if gap > 0:
+            cats[_gap_category(g, node)] += gap
+        cat = _node_category(node)
+        if cat is not None:
+            cats[cat] += node.end_s - node.start_s
+        prev_end = node.end_s
+    tail = g.rank_step_s(rank) - prev_end
+    if tail > 0:
+        cats["serialization"] += tail
+    return cats
+
+
+@dataclass(frozen=True)
+class RankStats:
+    """One rank's critical-path scorecard for one step."""
+
+    rank: int
+    step_s: float          # scheduled rank step time (== critical path)
+    observed_s: float      # what the rank's own accounting reported
+    busy_comm_s: float     # total comm+transfer lane occupancy
+    stalls: dict = field(default_factory=dict)
+
+    @property
+    def exposed_s(self) -> float:
+        return sum(self.stalls.get(c, 0.0) for c in EXPOSED)
+
+    @property
+    def exposed_comm_pct(self) -> float:
+        return 100.0 * self.exposed_s / self.step_s if self.step_s > 0 else 0.0
+
+    @property
+    def overlap_efficiency(self) -> float:
+        if self.busy_comm_s <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.exposed_s / self.busy_comm_s)
+
+    @property
+    def compute_utilization(self) -> float:
+        if self.step_s <= 0:
+            return 0.0
+        return self.stalls.get("compute", 0.0) / self.step_s
+
+
+def rank_scores(g: StepGraph, rank: int) -> RankStats:
+    busy_comm = sum(
+        n.busy_s for n in g.nodes
+        if n.rank == rank and n.kind in ("comm", "xfer")
+    )
+    return RankStats(
+        rank=rank,
+        step_s=g.rank_step_s(rank),
+        observed_s=g.observed_step_s.get(rank, 0.0),
+        busy_comm_s=busy_comm,
+        stalls=rank_stalls(g, rank),
+    )
+
+
+def fleet_scores(g: StepGraph) -> dict[int, RankStats]:
+    return {rank: rank_scores(g, rank) for rank in sorted(g.rank_end)}

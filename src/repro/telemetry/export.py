@@ -35,12 +35,65 @@ def _tid_for(track: str, tids: dict[str, int]) -> int:
     return tids[track]
 
 
+def _comm_flow_roles(tracers) -> dict[tuple[int, int], tuple[int, str]]:
+    """Match each rank's comm intervals across the fleet into flows.
+
+    The k-th occurrence of a collective on a group couples every member
+    rank's k-th interval for that (group, op); a send couples with the
+    matching recv via the recorded ``peer``. Returns ``(rank, interval
+    index) -> (flow id, role)`` with role "s" on the flow's origin (lowest
+    rank; the sender for p2p), "f" on its terminus, "t" in between.
+    Singletons (nothing to link) get no flow.
+    """
+    occ: dict[tuple, int] = {}
+    groups: dict[tuple, list[tuple[int, int]]] = {}
+    for tracer in tracers:
+        for idx, ci in enumerate(getattr(tracer, "comm_intervals", ())):
+            if ci.op in ("send", "recv"):
+                if ci.peer is None:
+                    continue
+                okey = (ci.op, ci.peer, tracer.rank)
+                k = occ.get(okey, 0)
+                occ[okey] = k + 1
+                key = ("p2p", ci.peer, k)
+            elif len(ci.group_ranks) > 1:
+                okey = (ci.group_ranks, ci.op, tracer.rank)
+                k = occ.get(okey, 0)
+                occ[okey] = k + 1
+                key = ("coll", ci.group_ranks, ci.op, k)
+            else:
+                continue
+            groups.setdefault(key, []).append((tracer.rank, idx))
+    roles: dict[tuple[int, int], tuple[int, str]] = {}
+    next_id = 1
+    for key, members in groups.items():
+        ranks = {r for r, _ in members}
+        if len(ranks) < 2:
+            continue
+        fid = next_id
+        next_id += 1
+        if key[0] == "p2p":
+            src, _dst = key[1]
+            for rank, idx in members:
+                roles[(rank, idx)] = (fid, "s" if rank == src else "f")
+        else:
+            lo, hi = min(ranks), max(ranks)
+            for rank, idx in members:
+                role = "s" if rank == lo else ("f" if rank == hi else "t")
+                roles[(rank, idx)] = (fid, role)
+    return roles
+
+
 def chrome_trace(tracers, global_instants=()) -> dict:
     """Build the trace-event dict for ``tracers`` (iterable of Tracer).
 
     Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` — JSON-dump
     it (or use ``write_chrome_trace``) for a loadable artifact.
     """
+    tracers = list(tracers)
+    # Cross-rank flow links for the per-event comm tracks (empty — and
+    # free — unless Perfscope recording populated comm_intervals).
+    flow_roles = _comm_flow_roles(tracers)
     events: list[dict] = []
     for tracer in tracers:
         pid = tracer.rank
@@ -77,6 +130,33 @@ def chrome_trace(tracers, global_instants=()) -> dict:
                 "ts": span.start_s * _US, "dur": span.duration_s * _US,
                 "args": dict(span.args),
             })
+        # Perfscope comm track: one complete event per priced comm event,
+        # with flow events linking a collective's per-rank spans (and a
+        # send to its recv). Interval lists are clock-ordered, and each
+        # flow rides its own span's start ts, so the track stays monotonic.
+        intervals = getattr(tracer, "comm_intervals", ())
+        if intervals:
+            comm_tid = _tid_for("comm", tids)
+            for idx, ci in enumerate(intervals):
+                events.append({
+                    "name": ci.op, "ph": "X", "pid": pid, "tid": comm_tid,
+                    "ts": ci.start_s * _US, "dur": ci.duration_s * _US,
+                    "args": {
+                        "bytes": ci.message_bytes, "phase": ci.phase,
+                        "step": ci.step,
+                    },
+                })
+                flow = flow_roles.get((tracer.rank, idx))
+                if flow is not None:
+                    fid, role = flow
+                    ev = {
+                        "name": ci.op, "cat": "comm-flow", "ph": role,
+                        "id": fid, "pid": pid, "tid": comm_tid,
+                        "ts": ci.start_s * _US,
+                    }
+                    if role == "f":
+                        ev["bp"] = "e"
+                    events.append(ev)
         meta = [
             {"name": "process_name", "ph": "M", "pid": pid,
              "args": {"name": f"rank {pid}"}},
@@ -111,19 +191,25 @@ def write_chrome_trace(path, tracers, global_instants=()) -> dict:
 
 def validate_chrome_trace(trace: dict | str) -> None:
     """Raise ``ValueError`` unless ``trace`` is a well-formed artifact:
-    JSON-shaped, per-track monotonic timestamps, matched B/E pairs."""
+    JSON-shaped, per-track monotonic timestamps, matched B/E pairs, and
+    every flow (s/t/f) id carrying both a start and a finish."""
     if isinstance(trace, str):
         trace = json.loads(trace)  # raises on invalid JSON
     if not isinstance(trace, dict) or not isinstance(trace.get("traceEvents"), list):
         raise ValueError("trace must be a dict with a 'traceEvents' list")
     last_ts: dict[tuple, float] = {}
     stacks: dict[tuple, list[str]] = {}
+    flows: dict[object, set[str]] = {}
     for i, ev in enumerate(trace["traceEvents"]):
         ph = ev.get("ph")
         if ph == "M":
             continue
-        if ph not in ("B", "E", "X", "i", "C"):
+        if ph not in ("B", "E", "X", "i", "C", "s", "t", "f"):
             raise ValueError(f"event {i}: unknown phase {ph!r}")
+        if ph in ("s", "t", "f"):
+            if "id" not in ev:
+                raise ValueError(f"event {i}: flow event without an id")
+            flows.setdefault(ev["id"], set()).add(ph)
         track = (ev.get("pid"), ev.get("tid"), ev["name"] if ph == "C" else None)
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)):
@@ -150,15 +236,24 @@ def validate_chrome_trace(trace: dict | str) -> None:
     for track, stack in stacks.items():
         if stack:
             raise ValueError(f"unclosed B events {stack} on track {track}")
+    for fid, phs in flows.items():
+        if "s" not in phs:
+            raise ValueError(f"flow {fid!r} has no start ('s') event")
+        if "f" not in phs:
+            raise ValueError(f"flow {fid!r} has no finish ('f') event")
 
 
 def ascii_summary(
     tracers, *, title: str = "telemetry step summary", health=None,
+    exposed_comm_pct=None,
 ) -> str:
     """Per-step table across ranks: phase times, comm volume, peak memory,
     and the straggler (slowest) rank. With a ``HealthMonitor`` attached
     (``health=``), the straggler cell also carries the monitor's verdict
-    for that rank at that step when it is not plain healthy."""
+    for that rank at that step when it is not plain healthy. With a
+    Perfscope result attached (``exposed_comm_pct=``, a step ->
+    percentage mapping), an exposed-comm column joins the straggler
+    column; without one the table shape is unchanged."""
     tracers = list(tracers)
     if not tracers or not any(t.step_durations for t in tracers):
         return "(no steps traced)"
@@ -182,7 +277,9 @@ def ascii_summary(
     headers = (
         ["step"]
         + [f"{p} (ms)" for p in phase_names]
-        + ["comm volume", "peak alloc", "step (ms)", "straggler"]
+        + ["comm volume", "peak alloc", "step (ms)"]
+        + (["exposed comm"] if exposed_comm_pct is not None else [])
+        + ["straggler"]
     )
     rows = []
     for step in range(n_steps):
@@ -206,8 +303,11 @@ def ascii_summary(
             bytes_to_str(int(comm)),
             bytes_to_str(peak) if peak else "-",
             f"{1e3 * slowest:.3f}",
-            straggler,
         ]
+        if exposed_comm_pct is not None:
+            pct = exposed_comm_pct.get(step)
+            cells.append("-" if pct is None else f"{pct:.1f}%")
+        cells.append(straggler)
         rows.append(cells)
     table = format_table(headers, rows, title=title)
 

@@ -38,6 +38,7 @@ class TelemetrySession:
 
     def __init__(
         self, *, registry: MetricsRegistry | None = None, health=None,
+        perfscope: bool = False,
     ):
         self.registry = registry or MetricsRegistry()
         self.tracers: dict[int, Tracer] = {}
@@ -47,6 +48,11 @@ class TelemetrySession:
         #: summary table annotates straggler verdicts. None = disabled,
         #: byte-identical to a health-free session.
         self.health = health
+        #: Perfscope recording switch: when True every tracer records its
+        #: priced comm events as clock intervals plus the offload/infinity
+        #: runtime captures, enabling ``perfscope_analysis``. False (the
+        #: default) keeps tracers byte-identical to a perfscope-free run.
+        self.perfscope = perfscope
         if health is not None and getattr(health, "registry", None) is None:
             health.registry = self.registry
         self._clock_s = 0.0  # global-track clock: max of rank clocks seen
@@ -72,6 +78,7 @@ class TelemetrySession:
                 tracer = Tracer(rank, cost_model=cost, registry=self.registry)
                 self.tracers[rank] = tracer
             tracer.health = self.health
+            tracer.record_comm = self.perfscope
             return tracer
 
     def instant(self, name: str, **args) -> InstantEvent:
@@ -103,7 +110,32 @@ class TelemetrySession:
         return write_chrome_trace(path, self._ranked(), self.global_instants)
 
     def summary(self, *, title: str = "telemetry step summary") -> str:
-        return ascii_summary(self._ranked(), title=title, health=self.health)
+        exposed = None
+        if self.perfscope:
+            analysis = self.perfscope_analysis()
+            if analysis.reports:
+                exposed = analysis.exposed_comm_pct_by_step()
+        return ascii_summary(
+            self._ranked(), title=title, health=self.health,
+            exposed_comm_pct=exposed,
+        )
 
     def write_metrics_jsonl(self, path) -> None:
         self.registry.write_jsonl(path)
+
+    # -- perfscope ------------------------------------------------------------
+
+    def perfscope_analysis(self):
+        """Run Perfscope over the recorded timeline (requires the session
+        to have been built with ``perfscope=True``) and publish its
+        ``perfscope_*`` gauges into the registry."""
+        if not self.perfscope:
+            raise RuntimeError(
+                "Perfscope recording is off; construct the session with "
+                "TelemetrySession(perfscope=True)"
+            )
+        from repro.perfscope import analyze
+
+        analysis = analyze(self)
+        analysis.publish(self.registry)
+        return analysis

@@ -72,6 +72,31 @@ class CounterSample:
     value: float
 
 
+@dataclass(frozen=True)
+class CommInterval:
+    """One priced communication event as a clock interval on one rank.
+
+    Recorded only when Perfscope recording is on (``Tracer.record_comm``):
+    the interval is the slice of the rank's serialized clock that
+    ``on_comm_event`` credited to this event, which is what lets the
+    step graph be reconstructed with per-event resolution. ``step`` is
+    the step-span index the event fell inside (None outside any step).
+    """
+
+    op: str
+    phase: str
+    message_bytes: int
+    group_ranks: tuple[int, ...]
+    peer: tuple[int, int] | None
+    start_s: float
+    end_s: float
+    step: int | None
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
 class Tracer:
     """Per-rank span tracer on the simulated clock.
 
@@ -98,6 +123,16 @@ class Tracer:
         #: ("C", CounterSample) in the exact order they happened — what
         #: keeps the Chrome trace's B/E pairs nested and ts monotonic.
         self.log: list[tuple[str, object]] = []
+        #: Perfscope recording switch. Off (the default) nothing below is
+        #: ever appended, keeping the tracer byte-identical to the
+        #: pre-Perfscope behavior; the session flips it on.
+        self.record_comm = False
+        #: priced comm events as clock intervals (see CommInterval).
+        self.comm_intervals: list[CommInterval] = []
+        #: per-step runtime-schedule captures keyed by step index:
+        #: (kind, payload) recorded by OffloadRuntime / InfinityEngine
+        #: trace_step so Perfscope can replay the overlapped schedule.
+        self.runtime_steps: dict[int, tuple[str, dict]] = {}
         self._stack: list[Span] = []
         self._comm_nominal_bytes = 0.0
         self._comm_by_phase: dict[str, float] = {}
@@ -212,11 +247,37 @@ class Tracer:
 
     # -- CommLedger bridge ---------------------------------------------------
 
+    def current_step_index(self) -> int | None:
+        """Index of the step span currently open (None outside a step)."""
+        for span in self._stack:
+            if span.name == STEP_SPAN:
+                return len(self.step_durations)
+        return None
+
+    def record_runtime_step(self, kind: str, payload: dict) -> None:
+        """Stash one boundary's runtime-schedule capture for Perfscope
+        (no-op unless recording is on)."""
+        if not self.record_comm:
+            return
+        step = self.current_step_index()
+        if step is not None:
+            self.runtime_steps[step] = (kind, payload)
+
     def on_comm_event(self, event) -> None:
         """Price one recorded ``CommEvent`` into clock time + counters."""
         if self.cost is not None:
+            start_s = self.clock_s
             seconds = self.cost.event_time(event)
             self.advance(seconds)
+            if self.record_comm:
+                self.comm_intervals.append(CommInterval(
+                    op=event.op, phase=event.phase,
+                    message_bytes=event.message_bytes,
+                    group_ranks=event.group_ranks,
+                    peer=getattr(event, "peer", None),
+                    start_s=start_s, end_s=self.clock_s,
+                    step=self.current_step_index(),
+                ))
             if self.health is not None:
                 self.health.on_comm_event(self, event, seconds)
         nominal = event.nominal_bytes

@@ -53,6 +53,11 @@ def pytest_configure(config):
         "failslow: fail-slow (gray-failure) defense tests (performance-fault "
         "injection, straggler detection, slow-rank eviction)",
     )
+    config.addinivalue_line(
+        "markers",
+        "perfscope: critical-path analytics tests (stall attribution, "
+        "what-if probes, perf-regression gate)",
+    )
 
 
 @pytest.hookimpl(wrapper=True)

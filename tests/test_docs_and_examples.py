@@ -56,6 +56,7 @@ FAST_EXAMPLES = [
     "oom_postmortem.py",
     "failslow_eviction.py",
     "infinity_trillion.py",
+    "critical_path.py",
 ]
 
 
