@@ -153,6 +153,11 @@ def test_failslow_recovery_and_detector_overhead(record_table, tmp_path):
             "throughput_after": (mean(after), "tokens/s"),
             "recovered": (recovered_pct, "%"),
             "detector_overhead": (overhead_pct, "%"),
+            # eviction lands when the real-time detector confirms, so the
+            # checkpoint the relaunch resumes from (and the replay bill)
+            # varies run to run: recorded, not gated.
+            "evict_resume_step": (resumed[-1], "step"),
+            "evict_steps_reexecuted": (TOTAL_STEPS - resumed[-1], "steps"),
         },
         config={"world": 3, "compute_factor": 4.0, "onset_step": ONSET_STEP,
                 "steps": TOTAL_STEPS, "stage": 2, "target_overhead_pct": 5.0},

@@ -13,9 +13,18 @@ import time
 
 import numpy as np
 
-from repro import Cluster, GPTConfig, ZeROConfig
+from repro import (
+    Cluster,
+    FaultPlan,
+    GPTConfig,
+    RestartKind,
+    Supervisor,
+    VerifiedCheckpointRing,
+    ZeROConfig,
+)
 from repro.data import SyntheticCorpus
 from repro.hardware.specs import GPUSpec
+from repro.zero.checkpoint_io import load_checkpoint_resharded
 from repro.zero.factory import build_model_and_engine
 
 GPU = GPUSpec("bench", 2 * 10**9, 1e12)
@@ -70,3 +79,62 @@ def test_audit_overhead_fraction(record_table):
     # Gross-regression guard only; the 5% target is tracked via the
     # recorded artifact, not asserted against CI timing jitter.
     assert overhead_pct < 25.0
+
+
+# -- rollback bill: what a detected scribble costs without redundancy --------
+
+ROLLBACK_STEPS = 8
+ROLLBACK_CKPT_EVERY = 2
+SCRIBBLE_AT = 6
+
+
+def test_rollback_lost_steps(record_table, tmp_path):
+    """Deterministic replay bill of the classic detect->rollback path: a
+    scribble detected at its own boundary rolls the run back to the last
+    *verified* ring checkpoint — the baseline the buddy-redundancy layer
+    (bench_redundancy_recovery.py) drives to zero."""
+    plan = FaultPlan(seed=11).scribble_tensor(rank=1, at_step=SCRIBBLE_AT,
+                                              target="m")
+    sup = Supervisor(2, gpu=GPU, fault_plan=plan, timeout_s=30.0)
+    resumed = []
+
+    def train_fn(ctx):
+        zero = ZeROConfig(stage=2, checkpoint_activations=False,
+                          memory_defrag=False, audit_cadence=1)
+        model, engine = build_model_and_engine(
+            ctx, CFG, zero, dp_group=ctx.world, dtype=np.float32, seed=0,
+        )
+        ring = VerifiedCheckpointRing(tmp_path / "ring", keep=3)
+        latest = ring.latest_verified()
+        if latest is not None:
+            load_checkpoint_resharded(engine, latest)
+        if ctx.rank == 0:
+            resumed.append(engine.step_count)
+        for step in range(engine.step_count, ROLLBACK_STEPS):
+            ids, tgt = CORPUS.sample_batch(2, 32, rank=ctx.rank, step=step)
+            engine.train_step(ids, tgt)
+            if engine.step_count % ROLLBACK_CKPT_EVERY == 0:
+                ring.save(engine)
+        return engine.step_count
+
+    report = sup.run(train_fn)
+    assert report.restarts == 1
+    assert report.events[0].kind == RestartKind.ROLLBACK
+
+    completed = SCRIBBLE_AT - 1   # boundaries finished before detection
+    lost = completed - resumed[-1]
+    record_table(
+        f"SDC rollback bill: scribble detected at step {SCRIBBLE_AT}, "
+        f"verified ring every {ROLLBACK_CKPT_EVERY} steps\n"
+        f"  resumed from ring at    : step {resumed[-1]}\n"
+        f"  completed steps lost    : {lost}\n"
+        f"  steps re-executed       : {ROLLBACK_STEPS - resumed[-1]}",
+        metrics={
+            "rollback_resume_step": (resumed[-1], "step"),
+            "rollback_lost_steps": (lost, "steps"),
+            "rollback_steps_reexecuted": (ROLLBACK_STEPS - resumed[-1], "steps"),
+        },
+        config={"world": 2, "stage": 2, "scribble_at": SCRIBBLE_AT,
+                "steps": ROLLBACK_STEPS, "ckpt_every": ROLLBACK_CKPT_EVERY},
+        name="sdc_rollback",
+    )

@@ -65,6 +65,11 @@ WALL_CLOCK_METRICS = {
     "throughput_during",
     "throughput_after",
     "recovered",
+    "evict_resume_step",
+    "evict_steps_reexecuted",
+    # host wall-clock recovery times (redundancy benchmark)
+    "recovery_wall_fast",
+    "recovery_wall_ring",
 }
 
 

@@ -87,6 +87,22 @@ def offload_sweep_smoke():
 
 
 @pytest.fixture(scope="session", autouse=True)
+def redundancy_gate_smoke():
+    """The redundancy benchmark's perf-regression gate must stay armed:
+    its committed baseline has to exist and pass ``compare_bench --check``
+    against itself, even in sessions that deselect the benchmark."""
+    from compare_bench import BASELINE_DIR, check_file
+
+    baseline = BASELINE_DIR / "BENCH_redundancy_recovery.json"
+    assert baseline.exists(), (
+        "missing benchmarks/baselines/BENCH_redundancy_recovery.json — "
+        "seed it with `python benchmarks/compare_bench.py --update`"
+    )
+    ok, table = check_file(baseline)
+    assert ok, table
+
+
+@pytest.fixture(scope="session", autouse=True)
 def infinity_sweep_smoke():
     """Same guard for the ZeRO-Infinity tier sweep: one fit point per
     session keeps ``bench_infinity_trillion.py``'s machinery honest even

@@ -61,11 +61,14 @@ from repro.integrity import (
     IntegrityConfig,
     VerifiedCheckpointRing,
 )
+from repro.redundancy import BuddyStore, RedundancyConfig, resume_from_buddies
+from repro.restart import RestartKind
 from repro.supervisor import RestartPolicy, Supervisor, SupervisorReport
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BuddyStore",
     "Cluster",
     "CorruptionDetectedError",
     "FaultPlan",
@@ -79,6 +82,8 @@ __all__ = [
     "RankContext",
     "RankJitterRule",
     "RankThrottleRule",
+    "RedundancyConfig",
+    "RestartKind",
     "RestartPolicy",
     "RetryPolicy",
     "SlowRankDetectedError",
@@ -88,4 +93,5 @@ __all__ = [
     "VerifiedCheckpointRing",
     "ZeROConfig",
     "__version__",
+    "resume_from_buddies",
 ]

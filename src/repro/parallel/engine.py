@@ -203,6 +203,10 @@ class BaseEngine:
         # first train_step — the subclass's optimizer state (the shards it
         # fingerprints) does not exist yet at this point in __init__.
         self.integrity = None
+        # Buddy-shard redundancy (repro.redundancy). Same lazy-construction
+        # rule; None whenever the context carries no BuddyStore, so a
+        # redundancy-off run allocates and records nothing.
+        self.redundancy = None
 
     # -- fused working buffer ------------------------------------------------
 
@@ -238,6 +242,14 @@ class BaseEngine:
             from repro.integrity.audit import IntegrityAuditor
 
             self.integrity = IntegrityAuditor(self, self.config.integrity)
+        if (
+            getattr(self.ctx, "redundancy", None) is not None
+            and self.redundancy is None
+            and not self.is_meta
+        ):
+            from repro.redundancy.manager import RedundancyManager
+
+            self.redundancy = RedundancyManager(self, self.ctx.redundancy)
         self._micro_step += 1
         boundary = self._micro_step % self.config.gradient_accumulation_steps == 0
         if boundary:
@@ -346,6 +358,10 @@ class BaseEngine:
             if tr is not None:
                 tr.sample_memory(self.ctx.device)
                 tr.end()  # optimizer
+            if self.redundancy is not None:
+                # Buddy refresh last: a boundary the detectors rejected
+                # raised above, so corrupt state never reaches the store.
+                self.redundancy.on_boundary(applied)
         else:
             self._mark("reduce")
             if tr is not None:
@@ -379,6 +395,13 @@ class BaseEngine:
         if param_shard is not None:
             shards["param_shard"] = param_shard.data
         return shards
+
+    def redundancy_shards(self) -> dict[str, np.ndarray]:
+        """What a buddy refresh must capture to resume bitwise at the
+        current step: the integrity set, plus any engine-specific carry
+        (stages 1-2 add the stale fp16 params under delayed param
+        update — see ``_ZeroDPBase.redundancy_shards``)."""
+        return self.integrity_shards()
 
     def _apply_scribbles(self, plan) -> None:
         """Apply due scribble rules to the owned shards (silent device-

@@ -1,0 +1,234 @@
+"""RedundancyManager: per-engine buddy-refresh companion.
+
+Constructed lazily by ``BaseEngine.train_step`` when the rank context
+carries a ``BuddyStore`` (threaded from the Supervisor through the
+Cluster). At every optimizer boundary it copies the engine's owned
+shards (``redundancy_shards`` — the integrity set plus the DPU stale-
+parameter carry) into the store, and prices what that refresh costs on
+this rank's modeled hardware:
+
+- ``send``/``recv`` on the comm ledger for the interconnect hop to the
+  buddy (phase ``buddy-replicate``), priced by the alpha-beta cost model
+  through the ledger->tracer bridge like any collective;
+- a ``d2h`` staging copy over the PCIe ``TierStream`` for the device-
+  resident fraction of the shards (host-resident Adam state under
+  ZeRO-Offload/Infinity skips it);
+- an ``nvme-out`` landing copy when the replica tier is NVMe;
+- a ``buddy-replicate`` span on the serialized clock plus explicit-
+  interval lane spans on the ``redundancy`` track, so Perfscope can
+  attribute replication stalls exactly like offload traffic.
+
+The refresh itself is asynchronous in the modeled timeline (lane spans
+overlap the next step's compute); the serialized clock charges the
+submission cost the same way the offload runtime does. Bytes parked on
+the buddy tier are accounted against the landing pool (host or NVMe) so
+tier capacity stays honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.infinity.tiers import TierStream, TierTopology, wire_seconds
+from repro.integrity.digest import fast_digest_array
+from repro.offload.host_optim import HostTensor
+from repro.redundancy.store import SCALAR_KEYS, BuddyStore, ShardSnapshot
+
+
+class RedundancyManager:
+    """One rank's view of the buddy-redundancy machinery."""
+
+    def __init__(self, engine, store: BuddyStore):
+        self.engine = engine
+        self.store = store
+        self.config = store.config
+        ctx = engine.ctx
+        self.ctx = ctx
+        world = engine.dp_group.size
+        self.world = world
+        self.owner = engine.dp_group.group_index(ctx.rank)
+        cfg = self.config
+        if cfg.scheme == "replica":
+            self.dst = cfg.replica_holder(self.owner, world)
+            # Ranks whose redundancy lands on *this* rank's tier.
+            self.incoming = tuple(
+                r for r in range(world)
+                if r != self.owner and cfg.replica_holder(r, world) == self.owner
+            )
+        else:
+            self.dst = cfg.parity_holder(self.owner, world)
+            self.incoming = tuple(
+                r for r in range(world)
+                if r != self.owner and cfg.parity_holder(r, world) == self.owner
+            )
+        tiers = TierTopology.from_cluster(ctx.topology)
+        self.tiers = tiers
+        self.pcie = TierStream(
+            tiers.tier("host").link, ledger=ctx.ledger, rank=ctx.rank,
+            directions=("d2h", "h2d"),
+        )
+        self.nvme = (
+            TierStream(
+                tiers.tier("nvme").link, ledger=ctx.ledger, rank=ctx.rank,
+                directions=("nvme-out", "nvme-in"),
+            )
+            if cfg.tier == "nvme" else None
+        )
+        self.refreshes = 0
+        self.bytes_published = 0
+        #: serialized seconds this rank's clock spent on refreshes (what
+        #: the ``buddy-replicate`` spans sum to) — analytic, so benchmarks
+        #: report it with or without telemetry attached.
+        self.replication_s = 0.0
+        self._resident: HostTensor | None = None
+
+    # -- the boundary hook ---------------------------------------------------
+
+    def on_boundary(self, applied: bool) -> None:
+        """Refresh this rank's snapshot after an optimizer boundary."""
+        eng = self.engine
+        step = eng.step_count
+        if step % self.config.refresh_every != 0:
+            return
+        shards = {
+            key: np.array(arr, dtype=arr.dtype, copy=True)
+            for key, arr in eng.redundancy_shards().items()
+        }
+        digests = {key: fast_digest_array(arr) for key, arr in shards.items()}
+        if eng.integrity is not None:
+            # The auditor fingerprinted the same shards moments ago
+            # (after_optimizer): a replica leaving this rank must match
+            # the digests the recovery path will verify against.
+            recorded = eng.integrity._recorded
+            for key, digest in digests.items():
+                if key in recorded and recorded[key] != digest:
+                    raise RuntimeError(
+                        f"shard {key!r} changed between the integrity "
+                        f"fingerprint and the redundancy refresh (step {step})"
+                    )
+        snap = ShardSnapshot(
+            owner=self.owner, world_size=self.world, step=step,
+            flat_numel=eng.layout.numel,
+            flat_numel_unpadded=eng.layout.numel_unpadded,
+            engine_name=eng.name,
+            part_lo=eng.checkpoint_partition()[0],
+            part_hi=eng.checkpoint_partition()[1],
+            shards=shards,
+            scalars=self._scalars(),
+            digests=digests,
+        )
+        out_bytes = snap.nbytes
+        self.store.publish(snap)
+        self.refreshes += 1
+        self.bytes_published += out_bytes
+        self._account(out_bytes, step=step, applied=applied)
+
+    def _scalars(self) -> dict[str, float]:
+        eng = self.engine
+        values = (
+            int(eng.opt_state.step_count), int(eng.step_count),
+            int(eng._micro_step), float(eng.scaler.scale),
+            int(eng.scaler.good_steps), int(eng.scaler.n_skipped),
+        )
+        return dict(zip(SCALAR_KEYS, values))
+
+    # -- cost modeling -------------------------------------------------------
+
+    def _device_resident_bytes(self, out_bytes: int) -> int:
+        """Bytes that must cross PCIe before the NIC sees them: everything,
+        minus the fp32 Adam vectors when they already live host-side."""
+        eng = self.engine
+        if not getattr(eng, "_host_adam", False):
+            return out_bytes
+        host_side = sum(
+            arr.nbytes
+            for key, arr in eng.redundancy_shards().items()
+            if key in ("master", "m", "v")
+        )
+        return max(0, out_bytes - host_side)
+
+    def _account(self, out_bytes: int, *, step: int, applied: bool) -> None:
+        ctx = self.ctx
+        tr = self.engine.tracer
+        in_bytes = len(self.incoming) * out_bytes
+        d2h_bytes = self._device_resident_bytes(out_bytes)
+        t0 = tr.clock_s if tr is not None else 0.0
+        if tr is not None:
+            tr.begin(
+                "buddy-replicate", step=step, applied=applied,
+                bytes_out=out_bytes, bytes_in=in_bytes,
+            )
+        handles = []
+        self.pcie.reset()
+        if d2h_bytes:
+            handles.append(self.pcie.copy_async(
+                d2h_bytes, "d2h", submit_t=0.0, phase="buddy-replicate"
+            ))
+        if self.dst is not None and out_bytes:
+            ctx.ledger.record(
+                "send", out_bytes, (ctx.rank, self._world_rank(self.dst)),
+                phase="buddy-replicate",
+                peer=(ctx.rank, self._world_rank(self.dst)),
+            )
+        for src in self.incoming:
+            ctx.ledger.record(
+                "recv", out_bytes, (self._world_rank(src), ctx.rank),
+                phase="buddy-replicate",
+                peer=(self._world_rank(src), ctx.rank),
+            )
+        if self.nvme is not None and in_bytes:
+            self.nvme.reset()
+            handles.append(self.nvme.copy_async(
+                in_bytes, "nvme-out", submit_t=0.0, phase="buddy-replicate"
+            ))
+        if tr is not None:
+            tr.end()  # buddy-replicate
+            for h in handles:
+                tr.add_span(
+                    h.direction, t0 + h.start_t, h.wire_s,
+                    track="redundancy", bytes=h.nbytes, phase="buddy-replicate",
+                )
+        self.replication_s += self._analytic_seconds(
+            out_bytes, in_bytes, d2h_bytes
+        )
+        self._account_residency(out_bytes, in_bytes)
+
+    def _world_rank(self, dp_index: int) -> int:
+        return self.engine.dp_group.ranks[dp_index]
+
+    def _analytic_seconds(
+        self, out_bytes: int, in_bytes: int, d2h_bytes: int
+    ) -> float:
+        """Closed-form serialized cost of one refresh on this rank's clock
+        (matches what the ledger->tracer bridge prices, by construction:
+        the same alpha-beta forms over the same links)."""
+        total = 0.0
+        if d2h_bytes:
+            total += wire_seconds(self.tiers.tier("host").link, d2h_bytes)
+        topo = self.ctx.topology
+        if self.dst is not None and out_bytes:
+            link = topo.link_for_group(
+                (self.ctx.rank, self._world_rank(self.dst))
+            )
+            total += wire_seconds(link, out_bytes)
+        for src in self.incoming:
+            link = topo.link_for_group((self._world_rank(src), self.ctx.rank))
+            total += wire_seconds(link, out_bytes)
+        # NVMe landings ride the drive lane (priced 0 on the serialized
+        # clock, like the infinity engine's paging traffic) — excluded.
+        return total
+
+    def _account_residency(self, out_bytes: int, in_bytes: int) -> None:
+        """Park the steady-state replica bytes against the landing pools
+        once (history depth x incoming bytes on host or NVMe, history
+        depth x own bytes on the local host tier)."""
+        if self._resident is not None:
+            return
+        keep = self.config.keep
+        pool = self.ctx.nvme if self.config.tier == "nvme" else self.ctx.host
+        nbytes = keep * (out_bytes + in_bytes)
+        if pool is None or nbytes <= 0:
+            return
+        self._resident = HostTensor(
+            nbytes, np.dtype(np.uint8), pool, meta=True, tag="redundancy-replica"
+        )

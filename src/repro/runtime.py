@@ -52,6 +52,10 @@ class RankContext:
     #: named "nvme"; shared per node like ``host``. Always present but holds
     #: zero bytes unless an infinity placement parks state there.
     nvme: HostMemory | None = None
+    #: buddy-shard redundancy store (``repro.redundancy.BuddyStore``) —
+    #: None unless the Supervisor (or caller) enabled redundancy; engines
+    #: treat None as "redundancy disabled" and allocate/record nothing.
+    redundancy: Any = None
     _groups: dict[tuple[int, ...], ProcessGroup] = field(default_factory=dict)
 
     def group(self, ranks: Sequence[int]) -> ProcessGroup:
@@ -145,8 +149,12 @@ class Cluster:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         telemetry=None,
+        redundancy=None,
     ):
         self.world_size = world_size
+        #: optional ``repro.redundancy.BuddyStore`` threaded into every
+        #: rank context (the Supervisor owns it across attempts).
+        self.redundancy = redundancy
         #: optional ``repro.telemetry.TelemetrySession``; when None the
         #: cluster allocates no telemetry objects at all.
         self.telemetry = telemetry
@@ -200,6 +208,7 @@ class Cluster:
             fabric=self.fabric,
             tracer=tracer,
             nvme=self.nvme,
+            redundancy=self.redundancy,
         )
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:

@@ -51,6 +51,17 @@ bitwise-deterministically. The throughput-recovery contract —
 post-eviction step time within tolerance of the healthy-world analytic
 prediction — is checked by ``repro.health.verify_recovery``.
 
+With ``redundancy=RedundancyConfig()`` the checkpoint ring stops being
+the first resort: every rank's owned shards are replicated to buddy
+tiers after each boundary (``repro.redundancy``), so on a kill or a
+detected corruption the supervisor stages a digest-verified
+``RecoverySnapshot`` from the buddies and the relaunch resumes via
+``resume_from_buddies`` at the last globally-completed boundary — zero
+completed steps lost, kind ``"fast-recovery"``. A double fault the
+store cannot cover invalidates it and falls back to the ring path,
+kind ``"ring-fallback"``. All restart kinds are the shared constants
+in ``repro.restart``.
+
 Only communication-layer failures (``RankKilledError``,
 ``FabricAbortedError``), detected corruption, and confirmed-slow
 verdicts trigger a restart; programming errors in the training function
@@ -69,6 +80,7 @@ from repro.comm.faults import FaultPlan, RankKilledError, RetryPolicy
 from repro.hardware.specs import GPUSpec, V100_32GB
 from repro.health.errors import SlowRankDetectedError
 from repro.integrity.errors import CorruptionDetectedError
+from repro.restart import ALL_KINDS, RestartKind, counter_name, instant_name
 from repro.runtime import Cluster
 
 
@@ -104,10 +116,17 @@ class RestartEvent:
     world_after: int
     killed_ranks: tuple[int, ...]  # old-world numbering; empty for transients
     error: str
-    # "failure" (crash fault), "rollback" (corruption, same world),
-    # "quarantine" (corruption, repeat offender removed), or
-    # "slow-evict" (confirmed fail-slow rank removed).
-    kind: str = "failure"
+    # One of ``repro.restart.RestartKind``: "failure" (crash fault, ring
+    # resume), "rollback" (corruption, same world), "quarantine"
+    # (corruption, repeat offender removed), "slow-evict" (confirmed
+    # fail-slow rank removed), "fast-recovery" (buddy redundancy served
+    # the fault at the current step), or "ring-fallback" (redundancy was
+    # on but could not serve — double fault / digest rejection).
+    kind: str = RestartKind.FAILURE
+
+    def __post_init__(self):
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown restart kind {self.kind!r}")
 
 
 @dataclass
@@ -140,6 +159,7 @@ class Supervisor:
         retry_policy: RetryPolicy | None = None,
         timeout_s: float = 120.0,
         telemetry=None,
+        redundancy=None,
     ):
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
@@ -149,6 +169,24 @@ class Supervisor:
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
         self.timeout_s = timeout_s
+        #: optional buddy-shard redundancy: a ``repro.redundancy``
+        #: ``RedundancyConfig`` (a fresh ``BuddyStore`` is built around
+        #: it) or an existing ``BuddyStore``. The store lives *here* —
+        #: it models durable host/NVMe tier contents, which survive the
+        #: per-attempt Cluster teardown the way DRAM survives a process
+        #: crash on another node.
+        self.redundancy = None
+        if redundancy is not None:
+            from repro.redundancy import BuddyStore, RedundancyConfig
+
+            if isinstance(redundancy, RedundancyConfig):
+                redundancy = BuddyStore(redundancy)
+            if not isinstance(redundancy, BuddyStore):
+                raise TypeError(
+                    "redundancy must be a RedundancyConfig or BuddyStore, "
+                    f"got {type(redundancy).__name__}"
+                )
+            self.redundancy = redundancy
         #: optional ``repro.telemetry.TelemetrySession`` threaded into every
         #: attempt's Cluster. Tracers are keyed by rank inside the session,
         #: so a relaunched rank continues its timeline, and each restart /
@@ -178,6 +216,7 @@ class Supervisor:
                 fault_plan=self.fault_plan,
                 retry_policy=self.retry_policy,
                 telemetry=self.telemetry,
+                redundancy=self.redundancy,
             )
             try:
                 results = cluster.run(fn, *args, **kwargs)
@@ -189,7 +228,7 @@ class Supervisor:
                     self.fault_plan.killed_ranks[known_dead:]
                 ) if self.fault_plan else ()
                 restarts += 1
-                kind = "failure"
+                kind = RestartKind.FAILURE
                 quarantined: tuple[int, ...] = ()
                 if isinstance(exc, SlowRankDetectedError):
                     # The slow rank produced correct results all along —
@@ -197,7 +236,7 @@ class Supervisor:
                     # shrink path and retire its performance-fault rules
                     # so they cannot re-attach to the survivor that
                     # inherits its rank number after renumbering.
-                    kind = "slow-evict"
+                    kind = RestartKind.SLOW_EVICT
                     quarantined = (exc.rank,)
                     if self.fault_plan is not None:
                         self.fault_plan.retire_perf_rules(exc.rank)
@@ -206,16 +245,32 @@ class Supervisor:
                     # training function resume from the newest *verified*
                     # checkpoint (a rollback). A repeat offender gets
                     # quarantined through the elastic shrink path instead.
-                    kind = "rollback"
+                    kind = RestartKind.ROLLBACK
                     if exc.rank is not None:
                         count = self.corruption_counts.get(exc.rank, 0) + 1
                         self.corruption_counts[exc.rank] = count
                         if count >= self.policy.quarantine_after:
-                            kind = "quarantine"
+                            kind = RestartKind.QUARANTINE
                             quarantined = (exc.rank,)
                             del self.corruption_counts[exc.rank]
                 removed = newly_dead + quarantined
                 new_world = world - len(removed)
+                if self.redundancy is not None:
+                    # Dead hardware takes its tier (primary + everything
+                    # it held for others) down with it; quarantined and
+                    # evicted ranks' tiers are alive and still serve.
+                    self.redundancy.mark_dead(newly_dead)
+                    fast = self.redundancy.prepare_recovery() is not None
+                    if not fast:
+                        # Buddies cannot serve this fault: drop the store
+                        # (its snapshots are *ahead* of the checkpoint the
+                        # ring will roll back to) and fall through.
+                        self.redundancy.invalidate()
+                    if kind in (RestartKind.FAILURE, RestartKind.ROLLBACK):
+                        kind = (
+                            RestartKind.FAST_RECOVERY if fast
+                            else RestartKind.RING_FALLBACK
+                        )
                 events.append(
                     RestartEvent(restarts, world, new_world, removed, repr(exc),
                                  kind=kind)
@@ -229,14 +284,8 @@ class Supervisor:
                     or new_world < self.policy.min_world_size
                 )
                 if self.telemetry is not None:
-                    instant = {
-                        "failure": "supervisor-restart",
-                        "rollback": "supervisor-rollback",
-                        "quarantine": "supervisor-quarantine",
-                        "slow-evict": "supervisor-slow-evict",
-                    }[kind]
                     self.telemetry.instant(
-                        "supervisor-gave-up" if gave_up else instant,
+                        "supervisor-gave-up" if gave_up else instant_name(kind),
                         attempt=restarts,
                         kind=kind,
                         world_before=world,
@@ -246,9 +295,7 @@ class Supervisor:
                     )
                     registry = getattr(self.telemetry, "registry", None)
                     if registry is not None:
-                        registry.counter(
-                            f"supervisor_{kind.replace('-', '_')}s"
-                        ).add(1)
+                        registry.counter(counter_name(kind)).add(1)
                 if restarts > self.policy.max_restarts:
                     exc.add_note(
                         f"supervisor gave up: restart budget exhausted "

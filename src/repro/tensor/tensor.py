@@ -31,6 +31,7 @@ DTYPE_SIZES = {
     np.dtype(np.float64): 8,
     np.dtype(np.int32): 4,
     np.dtype(np.int64): 8,
+    np.dtype(np.uint8): 1,
 }
 
 

@@ -308,6 +308,26 @@ class _ZeroDPBase(BaseEngine):
         """This rank's 1/Nd optimizer-state partition (for checkpoint_io)."""
         return self.part_lo, self.part_hi
 
+    def redundancy_shards(self) -> dict[str, np.ndarray]:
+        """Integrity set plus the DPU staleness carry.
+
+        Under delayed param update the fp16 parameters lag the master by
+        one step — fp16(master after step t-1) — so restoring fp16 from
+        the post-update master would collapse the lag and diverge from
+        the uninterrupted run. The buddy snapshot therefore also carries
+        this rank's *current* (stale) fp16 partition, read back from the
+        live parameters, and ``resume_from_buddies`` rebuilds the fp16
+        replicas from it. (Stage 3 needs no carry: its ``param_shard``
+        holds the stale values and is already in the integrity set.)
+        """
+        shards = super().redundancy_shards()
+        dpu = self.offload is not None and self.offload.config.delayed_param_update
+        if dpu and not self.is_meta:
+            shards["param16"] = self.layout.gather_param_range(
+                self.part_lo, self.part_hi, np.dtype(self.model.dtype)
+            )
+        return shards
+
     def free(self) -> None:
         super().free()
         self.opt_state.free()

@@ -58,6 +58,16 @@ def pytest_configure(config):
         "perfscope: critical-path analytics tests (stall attribution, "
         "what-if probes, perf-regression gate)",
     )
+    config.addinivalue_line(
+        "markers",
+        "redundancy: buddy-shard redundancy tests (replica/EC placement, "
+        "fast recovery, ring fallback)",
+    )
+    config.addinivalue_line(
+        "markers",
+        "chaos: randomized mixed-fault soak campaigns (kills + gray "
+        "failures + SDC + checkpoint rot)",
+    )
 
 
 @pytest.hookimpl(wrapper=True)

@@ -53,6 +53,7 @@ FAST_EXAMPLES = [
     "trillion_parameter_simulation.py",
     "scale_100b_simulation.py",
     "sdc_rollback.py",
+    "fast_recovery.py",
     "oom_postmortem.py",
     "failslow_eviction.py",
     "infinity_trillion.py",

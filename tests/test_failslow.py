@@ -37,6 +37,7 @@ from repro.hardware.specs import GPUSpec
 from repro.hardware.topology import ClusterTopology
 from repro.health.monitor import CONFIRMED, HEALTHY, SUSPECT
 from repro.optim.adam import AdamHyperparams
+from repro.restart import RestartKind
 from repro.parallel.engine import EngineConfig
 from repro.telemetry import TelemetrySession
 from repro.zero.checkpoint_io import (
@@ -434,7 +435,7 @@ class TestSlowRankEviction:
         # Remediation: one slow-evict, world 3 -> 2, nobody actually died.
         assert report.restarts == 1
         assert report.final_world_size == 2
-        assert [e.kind for e in report.events] == ["slow-evict"]
+        assert [e.kind for e in report.events] == [RestartKind.SLOW_EVICT]
         assert report.events[0].killed_ranks == (2,)
         assert plan.killed_ranks == []
 

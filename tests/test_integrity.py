@@ -42,6 +42,7 @@ from repro.integrity.digest import (
     fast_digest_array,
 )
 from repro.optim.adam import AdamHyperparams
+from repro.restart import RestartKind
 from repro.parallel.engine import EngineConfig
 from repro.zero.checkpoint_io import (
     is_complete_checkpoint,
@@ -473,7 +474,7 @@ class TestSupervisorRollback:
         assert report.restarts == 1
         assert report.final_world_size == WORLD
         (event,) = report.events
-        assert event.kind == "rollback"
+        assert event.kind == RestartKind.ROLLBACK
         assert event.world_before == event.world_after == WORLD
         assert event.killed_ranks == ()
         assert "shard-digest" in event.error
@@ -496,7 +497,7 @@ class TestSupervisorRollback:
             policy=RestartPolicy(max_restarts=3, quarantine_after=2),
         )
         report = sup.run(make_supervised_fn(tmp_path / "q"))
-        assert [e.kind for e in report.events] == ["rollback", "quarantine"]
+        assert [e.kind for e in report.events] == [RestartKind.ROLLBACK, RestartKind.QUARANTINE]
         assert report.events[1].killed_ranks == (1,)
         assert report.final_world_size == WORLD - 1
         losses, _ = report.results[0]
