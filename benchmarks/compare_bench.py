@@ -70,6 +70,10 @@ WALL_CLOCK_METRICS = {
     # host wall-clock recovery times (redundancy benchmark)
     "recovery_wall_fast",
     "recovery_wall_ring",
+    # the flight recorder's self-profiled cost is host CPU over modeled
+    # seconds — reported (and asserted <= 5% in-bench) but never gated
+    "recording_overhead",
+    "record_cpu_us_per_event",
 }
 
 

@@ -103,6 +103,22 @@ def redundancy_gate_smoke():
 
 
 @pytest.fixture(scope="session", autouse=True)
+def obs_gate_smoke():
+    """Same guard for the Mission Control overhead benchmark: its
+    committed baseline must exist and pass the gate against itself, even
+    in sessions that deselect ``bench_obs_overhead.py``."""
+    from compare_bench import BASELINE_DIR, check_file
+
+    baseline = BASELINE_DIR / "BENCH_obs_overhead.json"
+    assert baseline.exists(), (
+        "missing benchmarks/baselines/BENCH_obs_overhead.json — "
+        "seed it with `python benchmarks/compare_bench.py --update`"
+    )
+    ok, table = check_file(baseline)
+    assert ok, table
+
+
+@pytest.fixture(scope="session", autouse=True)
 def infinity_sweep_smoke():
     """Same guard for the ZeRO-Infinity tier sweep: one fit point per
     session keeps ``bench_infinity_trillion.py``'s machinery honest even

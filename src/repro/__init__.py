@@ -61,6 +61,14 @@ from repro.integrity import (
     IntegrityConfig,
     VerifiedCheckpointRing,
 )
+from repro.obs import (
+    Incident,
+    RunLedger,
+    SLOPolicy,
+    compute_goodput,
+    reconstruct_incidents,
+    run_report,
+)
 from repro.redundancy import BuddyStore, RedundancyConfig, resume_from_buddies
 from repro.restart import RestartKind
 from repro.supervisor import RestartPolicy, Supervisor, SupervisorReport
@@ -75,6 +83,7 @@ __all__ = [
     "GPTConfig",
     "HealthConfig",
     "HealthMonitor",
+    "Incident",
     "InfinityConfig",
     "InfinityEngine",
     "IntegrityConfig",
@@ -86,6 +95,8 @@ __all__ = [
     "RestartKind",
     "RestartPolicy",
     "RetryPolicy",
+    "RunLedger",
+    "SLOPolicy",
     "SlowRankDetectedError",
     "Supervisor",
     "SupervisorReport",
@@ -93,5 +104,8 @@ __all__ = [
     "VerifiedCheckpointRing",
     "ZeROConfig",
     "__version__",
+    "compute_goodput",
+    "reconstruct_incidents",
     "resume_from_buddies",
+    "run_report",
 ]

@@ -328,6 +328,17 @@ class FaultPlan:
         self.events: list[FaultEvent] = []
         #: ranks killed so far, in order of death (old-world numbering)
         self.killed_ranks: list[int] = []
+        #: optional Mission Control recorder (``repro.obs.RunLedger``):
+        #: when set, every fired event is mirrored into the run ledger in
+        #: the same firing order (the Supervisor attaches it).
+        self.recorder = None
+
+    def _record_event(self, event: FaultEvent) -> None:
+        """Append one fired event (and mirror it to the run ledger)."""
+        self.events.append(event)
+        rec = self.recorder
+        if rec is not None:
+            rec.on_fault_injected(event)
 
     # -- builders ----------------------------------------------------------
 
@@ -523,7 +534,7 @@ class FaultPlan:
                 c = t.counts.get(rank, 0) + 1
                 t.counts[rank] = c
                 if t.nth <= c < t.nth + t.times:
-                    self.events.append(FaultEvent("transient", rank, op, f"match {c}"))
+                    self._record_event(FaultEvent("transient", rank, op, f"match {c}"))
                     raise TransientCollectiveFault(
                         f"injected transient fault: {op!r} on rank {rank} "
                         f"(match {c} in group {group_ranks})"
@@ -536,7 +547,7 @@ class FaultPlan:
                 rng = self._rng_for_locked(rank)
                 if rng.random() < r.prob:
                     r.fired += 1
-                    self.events.append(FaultEvent("transient", rank, op, "random"))
+                    self._record_event(FaultEvent("transient", rank, op, "random"))
                     raise TransientCollectiveFault(
                         f"injected random transient fault: {op!r} on rank {rank}"
                     )
@@ -557,11 +568,11 @@ class FaultPlan:
                     continue
                 rule.fired += 1
                 if rule.kind == "drop":
-                    self.events.append(
+                    self._record_event(
                         FaultEvent("drop_send", src, "send", f"dst {dst} tag {tag!r}")
                     )
                     return -1.0
-                self.events.append(
+                self._record_event(
                     FaultEvent("delay_send", src, "send",
                                f"dst {dst} tag {tag!r} delay {rule.delay_s}s")
                 )
@@ -596,7 +607,7 @@ class FaultPlan:
                 if out is None:
                     out = np.array(array, copy=True)
                 self._flip_array_locked(rank, out, rule.bits)
-                self.events.append(
+                self._record_event(
                     FaultEvent("bitflip", rank, op,
                                f"{when}-reduce, {rule.bits} bit(s), match {c}")
                 )
@@ -617,7 +628,7 @@ class FaultPlan:
                     continue
                 rule.fired = True
                 due.append(rule)
-                self.events.append(
+                self._record_event(
                     FaultEvent("scribble", rank, "step",
                                f"{rule.target} at step {step}, {rule.bits} bit(s)")
                 )
@@ -646,7 +657,7 @@ class FaultPlan:
                     continue
                 rule.fired += 1
                 self._rot_file_locked(rank, pathlib.Path(path), rule.bits)
-                self.events.append(
+                self._record_event(
                     FaultEvent("ckpt-rot", rank, "checkpoint",
                                f"{pathlib.Path(path).name}, {rule.bits} bit(s), save {c}")
                 )
@@ -740,7 +751,7 @@ class FaultPlan:
     def _note_perf_onset_locked(self, rule, kind: str, rank: int, detail: str) -> None:
         if not rule.fired:
             rule.fired = True
-            self.events.append(FaultEvent(kind, rank, "perf", detail))
+            self._record_event(FaultEvent(kind, rank, "perf", detail))
 
     # -- internals ---------------------------------------------------------
 
@@ -774,7 +785,7 @@ class FaultPlan:
     def _fire_kill(self, rule: _KillRule, detail: str) -> None:
         rule.fired = True
         self.killed_ranks.append(rule.rank)
-        self.events.append(FaultEvent("kill", rule.rank, "step"
+        self._record_event(FaultEvent("kill", rule.rank, "step"
                                       if rule.at_step is not None else "collective",
                                       detail))
         raise RankKilledError(rule.rank, detail)

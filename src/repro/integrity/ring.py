@@ -93,6 +93,14 @@ class VerifiedCheckpointRing:
                 engine.ctx.ledger.enabled = True
         ok = bool(verdict[0] > 0)
 
+        rec = getattr(engine.ctx, "recorder", None)
+        if rec is not None and rank == rank0:
+            rec.record(
+                "checkpoint-verified", rank=rank, step=engine.step_count,
+                t_s=engine.tracer.clock_s if engine.tracer is not None else None,
+                ok=ok, path=str(directory),
+            )
+
         tracer = engine.tracer
         if tracer is not None:
             tracer.instant(

@@ -1,0 +1,60 @@
+"""Mission Control: run-level flight recorder, incident analytics, and
+goodput/SLO accounting (Section 16 of docs/ARCHITECTURE.md).
+
+The ``RunLedger`` is the event-sourced spine: every layer that does
+something run-relevant — the Supervisor, the engines' step boundaries,
+the fault fabric's injections, checkpoint I/O, the verified ring, the
+redundancy manager — appends typed events to one durable JSONL stream
+that survives restarts by append-and-replay. Everything else in this
+package is a pure function of that stream: ``reconstruct_incidents``
+correlates injection → detection → recovery arcs, ``compute_goodput``
+partitions the run wall into productive / re-execution / recovery /
+idle, and the exporters render the Prometheus dump, the Markdown run
+report, and the stitched cross-restart Chrome trace.
+"""
+
+from repro.obs.events import (
+    ALL_EVENT_KINDS,
+    RUNLEDGER_SCHEMA,
+    EventKind,
+    RunEvent,
+)
+from repro.obs.exporters import (
+    prometheus_text,
+    run_report,
+    stitched_chrome_trace,
+    write_stitched_chrome_trace,
+)
+from repro.obs.goodput import (
+    GoodputReport,
+    SLOPolicy,
+    SLOViolation,
+    compute_goodput,
+    publish_goodput,
+)
+from repro.obs.incidents import (
+    Incident,
+    absorbed_injections,
+    reconstruct_incidents,
+)
+from repro.obs.ledger import RunLedger
+
+__all__ = [
+    "ALL_EVENT_KINDS",
+    "RUNLEDGER_SCHEMA",
+    "EventKind",
+    "GoodputReport",
+    "Incident",
+    "RunEvent",
+    "RunLedger",
+    "SLOPolicy",
+    "SLOViolation",
+    "absorbed_injections",
+    "compute_goodput",
+    "prometheus_text",
+    "publish_goodput",
+    "reconstruct_incidents",
+    "run_report",
+    "stitched_chrome_trace",
+    "write_stitched_chrome_trace",
+]

@@ -1,0 +1,113 @@
+"""Typed run events: the RunLedger's vocabulary.
+
+One supervised run emits a single ordered stream of these events — step
+boundaries, fault injections and detections, restarts, re-shards,
+checkpoint saves/verifications, buddy refreshes — each stamped with the
+simulated clock and the incarnation (attempt) it happened in. The stream
+is the *source of truth* for everything Mission Control derives:
+incident reconstruction, goodput partitioning, and the run report are
+pure functions of the event list, which is what makes a replayed ledger
+produce byte-identical reports.
+
+Events serialize one-per-line as schema-versioned JSON (``runledger-v1``)
+so the stream is durable, appendable, and greppable; ``RunEvent.from_json``
+round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: schema tag carried by every serialized ledger line.
+RUNLEDGER_SCHEMA = "runledger-v1"
+
+
+class EventKind:
+    """Canonical ``RunEvent.kind`` values (plain strings, like
+    ``repro.restart.RestartKind``)."""
+
+    RUN_STARTED = "run-started"
+    INCARNATION_STARTED = "incarnation-started"
+    STEP_COMPLETED = "step-completed"
+    FAULT_INJECTED = "fault-injected"
+    FAULT_DETECTED = "fault-detected"
+    RESTART = "restart"
+    RESHARD = "reshard"
+    CHECKPOINT_SAVED = "checkpoint-saved"
+    CHECKPOINT_VERIFIED = "checkpoint-verified"
+    BUDDY_REFRESH = "buddy-refresh"
+    RUN_FINISHED = "run-finished"
+    RUN_ABORTED = "run-aborted"
+
+
+ALL_EVENT_KINDS = frozenset({
+    EventKind.RUN_STARTED,
+    EventKind.INCARNATION_STARTED,
+    EventKind.STEP_COMPLETED,
+    EventKind.FAULT_INJECTED,
+    EventKind.FAULT_DETECTED,
+    EventKind.RESTART,
+    EventKind.RESHARD,
+    EventKind.CHECKPOINT_SAVED,
+    EventKind.CHECKPOINT_VERIFIED,
+    EventKind.BUDDY_REFRESH,
+    EventKind.RUN_FINISHED,
+    EventKind.RUN_ABORTED,
+})
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One entry in the run ledger.
+
+    ``t_s`` is the simulated clock the ledger stamped the event with —
+    monotonic across the whole stream (the ledger never lets it go
+    backwards, even though per-rank clocks drift apart). ``incarnation``
+    is the 0-based attempt index the event belongs to; events recorded
+    before the first attempt carry -1.
+    """
+
+    seq: int
+    kind: str
+    t_s: float
+    incarnation: int
+    rank: int | None = None
+    step: int | None = None
+    args: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in ALL_EVENT_KINDS:
+            raise ValueError(f"unknown run-event kind {self.kind!r}")
+
+    def to_json(self) -> str:
+        row = {
+            "schema": RUNLEDGER_SCHEMA,
+            "seq": self.seq,
+            "kind": self.kind,
+            "t_s": self.t_s,
+            "incarnation": self.incarnation,
+            "rank": self.rank,
+            "step": self.step,
+            "args": self.args,
+        }
+        return json.dumps(row, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunEvent":
+        row = json.loads(line)
+        if not isinstance(row, dict):
+            raise ValueError(f"ledger line is not a JSON object: {line!r}")
+        if row.get("schema") != RUNLEDGER_SCHEMA:
+            raise ValueError(
+                f"ledger line schema {row.get('schema')!r} != {RUNLEDGER_SCHEMA!r}"
+            )
+        return cls(
+            seq=int(row["seq"]),
+            kind=row["kind"],
+            t_s=float(row["t_s"]),
+            incarnation=int(row["incarnation"]),
+            rank=row.get("rank"),
+            step=row.get("step"),
+            args=dict(row.get("args") or {}),
+        )

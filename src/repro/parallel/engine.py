@@ -362,6 +362,13 @@ class BaseEngine:
                 # Buddy refresh last: a boundary the detectors rejected
                 # raised above, so corrupt state never reaches the store.
                 self.redundancy.on_boundary(applied)
+            rec = getattr(self.ctx, "recorder", None)
+            if rec is not None:
+                rec.on_step_completed(
+                    self.ctx.rank, self.step_count,
+                    t_s=tr.clock_s if tr is not None else None,
+                    applied=applied,
+                )
         else:
             self._mark("reduce")
             if tr is not None:

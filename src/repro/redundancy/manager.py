@@ -192,6 +192,13 @@ class RedundancyManager:
             out_bytes, in_bytes, d2h_bytes
         )
         self._account_residency(out_bytes, in_bytes)
+        rec = getattr(ctx, "recorder", None)
+        if rec is not None:
+            rec.record(
+                "buddy-refresh", rank=ctx.rank, step=step,
+                t_s=tr.clock_s if tr is not None else None,
+                bytes_out=out_bytes, bytes_in=in_bytes,
+            )
 
     def _world_rank(self, dp_index: int) -> int:
         return self.engine.dp_group.ranks[dp_index]

@@ -100,6 +100,14 @@ def resume_from_buddies(engine: BaseEngine) -> bool:
             "fast-recovery-resume", step=snap.step,
             sources=dict(snap.sources),
         )
+    rec = getattr(engine.ctx, "recorder", None)
+    if rec is not None and engine.dp_group.group_index(engine.ctx.rank) == 0:
+        rec.record(
+            "reshard", rank=engine.ctx.rank, step=snap.step,
+            t_s=engine.tracer.clock_s if engine.tracer is not None else None,
+            source="buddies", world_from=snap.world_size,
+            world_to=engine.dp_group.size,
+        )
     return True
 
 

@@ -56,6 +56,10 @@ class RankContext:
     #: None unless the Supervisor (or caller) enabled redundancy; engines
     #: treat None as "redundancy disabled" and allocate/record nothing.
     redundancy: Any = None
+    #: Mission Control flight recorder (``repro.obs.RunLedger``) — None
+    #: unless the Supervisor (or caller) enabled recording; instrumented
+    #: layers treat None as "recording disabled" and append nothing.
+    recorder: Any = None
     _groups: dict[tuple[int, ...], ProcessGroup] = field(default_factory=dict)
 
     def group(self, ranks: Sequence[int]) -> ProcessGroup:
@@ -150,11 +154,15 @@ class Cluster:
         retry_policy: RetryPolicy | None = None,
         telemetry=None,
         redundancy=None,
+        recorder=None,
     ):
         self.world_size = world_size
         #: optional ``repro.redundancy.BuddyStore`` threaded into every
         #: rank context (the Supervisor owns it across attempts).
         self.redundancy = redundancy
+        #: optional ``repro.obs.RunLedger`` threaded into every rank
+        #: context (the Supervisor owns it across attempts).
+        self.recorder = recorder
         #: optional ``repro.telemetry.TelemetrySession``; when None the
         #: cluster allocates no telemetry objects at all.
         self.telemetry = telemetry
@@ -209,6 +217,7 @@ class Cluster:
             tracer=tracer,
             nvme=self.nvme,
             redundancy=self.redundancy,
+            recorder=self.recorder,
         )
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:

@@ -160,6 +160,7 @@ class Supervisor:
         timeout_s: float = 120.0,
         telemetry=None,
         redundancy=None,
+        recorder=None,
     ):
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
@@ -193,6 +194,19 @@ class Supervisor:
         #: rollback / quarantine / give-up appears as a supervisor-track
         #: instant event (plus a counter in the session registry).
         self.telemetry = telemetry
+        #: optional Mission Control flight recorder: a ``repro.obs``
+        #: ``RunLedger`` or a path to its durable JSONL file (a fresh
+        #: ledger is opened over it — appending to an existing file
+        #: replays the stream first, so a restarted supervisor process
+        #: continues the same run). The ledger lives here, not in the
+        #: per-attempt Cluster, because it spans restarts by design.
+        self.recorder = None
+        if recorder is not None:
+            from repro.obs import RunLedger
+
+            if not isinstance(recorder, RunLedger):
+                recorder = RunLedger(recorder)
+            self.recorder = recorder
         #: corruption detections attributed per rank (current-world
         #: numbering at detection time) — the quarantine escalation
         #: counter. Note rank numbers shift when the world shrinks, so
@@ -207,8 +221,19 @@ class Supervisor:
         world = self.world_size
         events: list[RestartEvent] = []
         restarts = 0
+        rec = self.recorder
+        if rec is not None:
+            from repro.obs import EventKind
+
+            rec.record(EventKind.RUN_STARTED, world_size=world)
+            if self.fault_plan is not None:
+                # The fault fabric reports every fired injection to the
+                # ledger, in firing order — the incident ground truth.
+                self.fault_plan.recorder = rec
         while True:
             known_dead = len(self.fault_plan.killed_ranks) if self.fault_plan else 0
+            if rec is not None:
+                rec.begin_incarnation(world, session=self.telemetry)
             cluster = Cluster(
                 world,
                 gpu=self.gpu,
@@ -217,6 +242,7 @@ class Supervisor:
                 retry_policy=self.retry_policy,
                 telemetry=self.telemetry,
                 redundancy=self.redundancy,
+                recorder=rec,
             )
             try:
                 results = cluster.run(fn, *args, **kwargs)
@@ -296,6 +322,30 @@ class Supervisor:
                     registry = getattr(self.telemetry, "registry", None)
                     if registry is not None:
                         registry.counter(counter_name(kind)).add(1)
+                        # Labelled twin of the per-kind counter, so one
+                        # name aggregates across kinds and each kind
+                        # round-trips through the registry's labels.
+                        registry.counter("supervisor_restarts", kind=kind).add(1)
+                if rec is not None:
+                    from repro.obs import EventKind
+
+                    now = self._session_clock()
+                    rec.record(
+                        EventKind.FAULT_DETECTED, t_s=now,
+                        rank=getattr(exc, "rank", None),
+                        error=type(exc).__name__, detail=str(exc),
+                    )
+                    rec.record(
+                        EventKind.RESTART, t_s=now,
+                        kind=kind, attempt=restarts,
+                        world_before=world, world_after=new_world,
+                        removed=list(removed), gave_up=gave_up,
+                        error=repr(exc),
+                    )
+                    if gave_up:
+                        rec.record(
+                            EventKind.RUN_ABORTED, t_s=now, error=repr(exc),
+                        )
                 if restarts > self.policy.max_restarts:
                     exc.add_note(
                         f"supervisor gave up: restart budget exhausted "
@@ -312,9 +362,25 @@ class Supervisor:
                     time.sleep(self.policy.restart_backoff_s)
                 world = new_world
                 continue
+            if rec is not None:
+                from repro.obs import EventKind
+
+                rec.record(
+                    EventKind.RUN_FINISHED, t_s=self._session_clock(),
+                    restarts=restarts, final_world_size=world,
+                    frontier_step=rec.step_frontier(),
+                )
             return SupervisorReport(
                 results=results,
                 restarts=restarts,
                 final_world_size=world,
                 events=events,
             )
+
+    def _session_clock(self) -> float | None:
+        """Frontier of the simulated clock across the session's tracers —
+        what the ledger stamps supervisor-side events with. ``None``
+        (ledger stamps at its own frontier) without telemetry."""
+        if self.telemetry is None or not self.telemetry.tracers:
+            return None
+        return max(t.clock_s for t in self.telemetry.tracers.values())

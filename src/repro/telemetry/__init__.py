@@ -24,9 +24,11 @@ from repro.telemetry.export import (
     ascii_summary,
     chrome_trace,
     validate_chrome_trace,
+    validate_metrics_jsonl,
     write_chrome_trace,
 )
 from repro.telemetry.metrics import (
+    METRICS_SCHEMA,
     AggregateStats,
     Counter,
     Gauge,
@@ -37,6 +39,7 @@ from repro.telemetry.session import TelemetrySession
 from repro.telemetry.spans import CounterSample, InstantEvent, Span, Tracer
 
 __all__ = [
+    "METRICS_SCHEMA",
     "AggregateStats",
     "Counter",
     "CounterSample",
@@ -50,5 +53,6 @@ __all__ = [
     "ascii_summary",
     "chrome_trace",
     "validate_chrome_trace",
+    "validate_metrics_jsonl",
     "write_chrome_trace",
 ]

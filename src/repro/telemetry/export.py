@@ -243,6 +243,57 @@ def validate_chrome_trace(trace: dict | str) -> None:
             raise ValueError(f"flow {fid!r} has no finish ('f') event")
 
 
+_METRIC_REQUIRED_FIELDS = {
+    "counter": ("value",),
+    "gauge": ("value", "max"),
+    "histogram": ("count", "min", "max", "mean", "p95"),
+}
+
+
+def validate_metrics_jsonl(text: str) -> None:
+    """Raise ``ValueError`` unless ``text`` is a well-formed metrics-JSONL
+    export (``repro.telemetry.MetricsRegistry.to_jsonl``): one JSON object
+    per line carrying the ``metrics-v1`` schema tag, a known kind with its
+    kind-specific numeric fields, string-to-string labels, and no
+    duplicate (name, labels) instance."""
+    from repro.telemetry.metrics import METRICS_SCHEMA
+
+    seen: set[tuple] = set()
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {i}: invalid JSON ({exc})") from exc
+        if not isinstance(row, dict):
+            raise ValueError(f"line {i}: not a JSON object")
+        if row.get("schema") != METRICS_SCHEMA:
+            raise ValueError(
+                f"line {i}: schema {row.get('schema')!r} != {METRICS_SCHEMA!r}"
+            )
+        name = row.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"line {i}: missing metric name")
+        kind = row.get("kind")
+        if kind not in _METRIC_REQUIRED_FIELDS:
+            raise ValueError(f"line {i}: unknown metric kind {kind!r}")
+        labels = row.get("labels")
+        if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+        ):
+            raise ValueError(f"line {i}: labels must map strings to strings")
+        for field in _METRIC_REQUIRED_FIELDS[kind]:
+            if not isinstance(row.get(field), (int, float)):
+                raise ValueError(
+                    f"line {i}: {kind} {name!r} lacks numeric {field!r}"
+                )
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen:
+            raise ValueError(f"line {i}: duplicate metric instance {key}")
+        seen.add(key)
+
+
 def ascii_summary(
     tracers, *, title: str = "telemetry step summary", health=None,
     exposed_comm_pct=None,

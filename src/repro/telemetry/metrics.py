@@ -20,6 +20,10 @@ import threading
 from dataclasses import dataclass
 
 
+#: schema tag carried by every exported metrics-JSONL row.
+METRICS_SCHEMA = "metrics-v1"
+
+
 def _labels_key(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
@@ -172,12 +176,16 @@ class MetricsRegistry:
     # -- export ------------------------------------------------------------
 
     def rows(self) -> list[dict]:
-        """One JSON-ready dict per metric instance."""
+        """One JSON-ready dict per metric instance (schema ``metrics-v1``,
+        checked by ``repro.telemetry.validate_metrics_jsonl``)."""
         out = []
         with self._lock:
             items = sorted(self._metrics.items(), key=lambda kv: kv[0])
         for (name, key), metric in items:
-            row: dict = {"name": name, "kind": metric.kind, "labels": dict(key)}
+            row: dict = {
+                "schema": METRICS_SCHEMA, "name": name, "kind": metric.kind,
+                "labels": dict(key),
+            }
             if isinstance(metric, Histogram):
                 row.update(
                     count=metric.count,

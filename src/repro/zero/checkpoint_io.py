@@ -141,6 +141,14 @@ def save_checkpoint(engine: BaseEngine, directory: str | pathlib.Path) -> pathli
         _atomic_write_text(
             directory / "meta.json", json.dumps(_meta_for(engine), indent=2)
         )
+        rec = getattr(engine.ctx, "recorder", None)
+        if rec is not None:
+            rec.record(
+                "checkpoint-saved", rank=engine.ctx.rank,
+                step=engine.step_count,
+                t_s=engine.tracer.clock_s if engine.tracer is not None else None,
+                path=str(directory), world_size=engine.dp_group.size,
+            )
     # Durable point: a rank returning from save must be able to read every
     # peer's file (loaders validate all of them), so wait for the slowest.
     engine.dp_group.barrier(engine.ctx.rank)
@@ -413,3 +421,11 @@ def load_checkpoint_resharded(
     _rebuild_fp16_params(engine)
     if engine.integrity is not None:
         engine.integrity.record_shards()
+    rec = getattr(engine.ctx, "recorder", None)
+    if rec is not None and engine.dp_group.group_index(engine.ctx.rank) == 0:
+        rec.record(
+            "reshard", rank=engine.ctx.rank, step=engine.step_count,
+            t_s=engine.tracer.clock_s if engine.tracer is not None else None,
+            source="checkpoint", world_from=meta["world_size"],
+            world_to=engine.dp_group.size,
+        )

@@ -68,6 +68,11 @@ def pytest_configure(config):
         "chaos: randomized mixed-fault soak campaigns (kills + gray "
         "failures + SDC + checkpoint rot)",
     )
+    config.addinivalue_line(
+        "markers",
+        "obs: Mission Control tests (run ledger, incident analytics, "
+        "goodput/SLO accounting, exporters)",
+    )
 
 
 @pytest.hookimpl(wrapper=True)

@@ -58,6 +58,7 @@ FAST_EXAMPLES = [
     "failslow_eviction.py",
     "infinity_trillion.py",
     "critical_path.py",
+    "mission_control.py",
 ]
 
 

@@ -36,6 +36,7 @@ from repro.telemetry import (
     TelemetrySession,
     Tracer,
     validate_chrome_trace,
+    validate_metrics_jsonl,
 )
 from repro.zero.config import ZeROConfig
 from repro.zero.factory import build_engine, build_model_and_engine
@@ -534,10 +535,12 @@ class TestMetricsRegistry:
         reg.histogram("h", rank=0).observe(0.5)
         path = tmp_path / "metrics.jsonl"
         reg.write_jsonl(path)
+        validate_metrics_jsonl(path.read_text())
         rows = [json.loads(line) for line in path.read_text().splitlines()]
         by_name = {r["name"]: r for r in rows}
         assert by_name["c"]["value"] == 2
         assert by_name["c"]["labels"] == {"rank": "0"}
+        assert by_name["c"]["schema"] == "metrics-v1"
         assert by_name["g"]["max"] == 7
         assert by_name["h"]["count"] == 1
 
